@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 20: execution cycles vs. FIFO size.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  The benchmark measures the
+wall-clock cost of producing the figure's data and prints the reproduced
+series (4-task implementation for several buffer sizes and compiler profiles
+vs. the synthesized single task).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure20 import format_figure20, run_figure20, speedup_by_profile
+
+
+def test_figure20_reproduction(benchmark, pfc_setup, capsys):
+    points = benchmark.pedantic(
+        run_figure20,
+        kwargs={
+            "setup": pfc_setup,
+            "frames": 10,
+            "buffer_sizes": (1, 2, 5, 10, 20, 50, 100),
+            "profiles": ("pfc", "pfc-O", "pfc-O2"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    speedups = speedup_by_profile(points)
+    with capsys.disabled():
+        print()
+        print(format_figure20(points))
+        print(f"  [paper: the single task out-performs by a factor of 4 to 10]")
+    # shape assertions: the single task wins under every profile
+    assert all(value > 1.5 for value in speedups.values())
+    multi = [p for p in points if p.implementation == "multi-task" and p.profile == "pfc"]
+    by_buffer = {p.buffer_size: p.cycles for p in multi}
+    assert by_buffer[100] <= by_buffer[1]

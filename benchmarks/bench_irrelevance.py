@@ -1,0 +1,24 @@
+"""Ablation benchmark: irrelevance criterion vs. fixed place bounds
+(the Figure 7 divider/multiplier argument of Section 4.4)."""
+
+from __future__ import annotations
+
+from repro.experiments.irrelevance_study import format_irrelevance_study, run_irrelevance_study
+
+
+def test_irrelevance_vs_place_bounds(benchmark, capsys):
+    rows = benchmark.pedantic(
+        run_irrelevance_study,
+        kwargs={"ks": (3, 4, 5), "bounds": (2, 3, 4), "max_nodes": 8000},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_irrelevance_study(rows))
+        print("  [paper: no constant bound works for every k; the irrelevance criterion does]")
+    irrelevance = [row for row in rows if row.condition == "irrelevance"]
+    bounded = [row for row in rows if row.condition.startswith("bound")]
+    assert all(row.success for row in irrelevance)
+    # small constant bounds fail on this family (the paper's argument)
+    assert all(not row.success for row in bounded if row.k >= 3)

@@ -1,0 +1,68 @@
+"""Benchmarks of the scheduling algorithm itself.
+
+* E4: the Section 8.2 claim -- the PFC system is scheduled into a single task
+  with unit-size control channels in well under a minute.
+* Ablation: T-invariant-guided ECS ordering vs. the plain tie-break ordering.
+"""
+
+from __future__ import annotations
+
+from repro.apps.divisors import build_divisors_system
+from repro.apps.video import VideoAppConfig, build_video_system
+from repro.experiments.schedule_stats import run_schedule_stats
+from repro.scheduling.ep import SchedulerOptions, find_schedule
+
+BENCH_CONFIG = VideoAppConfig(lines_per_frame=4, pixels_per_line=5)
+
+
+def test_pfc_scheduling_time(benchmark, capsys):
+    stats = benchmark.pedantic(
+        run_schedule_stats, args=(BENCH_CONFIG,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            f"PFC scheduling: {stats.schedule_nodes} schedule nodes, "
+            f"{stats.await_nodes} await node(s), tree={stats.tree_nodes}, "
+            f"{stats.seconds:.2f}s, channel bounds={stats.channel_bounds}"
+        )
+        print("  [paper: a single task, all channels of unit size, in less than a minute]")
+    assert stats.success
+    assert stats.await_nodes == 1
+    assert stats.all_control_channels_unit_size
+    assert stats.seconds < 60.0
+
+
+def test_scheduler_heuristic_ablation(benchmark, capsys):
+    system = build_video_system(BENCH_CONFIG)
+
+    def schedule_with(use_invariants: bool):
+        return find_schedule(
+            system.net,
+            "src.controller.init",
+            options=SchedulerOptions(use_invariant_heuristic=use_invariants, max_nodes=100_000),
+            raise_on_failure=True,
+        )
+
+    guided = benchmark.pedantic(schedule_with, args=(True,), rounds=1, iterations=1)
+    plain = schedule_with(False)
+    with capsys.disabled():
+        print()
+        print(
+            "ECS ordering ablation (PFC): "
+            f"invariant-guided tree={guided.tree_nodes}, "
+            f"tie-break only tree={plain.tree_nodes}"
+        )
+    assert guided.success and plain.success
+
+
+def test_divisors_scheduling(benchmark):
+    system = build_divisors_system()
+    result = benchmark.pedantic(
+        find_schedule,
+        args=(system.net, "src.divisors.in"),
+        kwargs={"raise_on_failure": True},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.success

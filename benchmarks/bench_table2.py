@@ -1,0 +1,37 @@
+"""Benchmark regenerating Table 2: code size of 1 task vs. 4 process tasks,
+plus the code-segment-sharing ablation."""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_reproduction(benchmark, pfc_setup, capsys):
+    rows = benchmark.pedantic(
+        run_table2,
+        kwargs={"setup": pfc_setup},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table2(rows))
+        print("  [paper: single task ~7.2-8.7x smaller with inlined communication]")
+    for row in rows:
+        assert row.ratio > 2.0
+
+
+def test_table2_sharing_ablation(benchmark, pfc_setup, capsys):
+    shared = run_table2(setup=pfc_setup, share_code_segments=True)
+    unshared = benchmark.pedantic(
+        run_table2,
+        kwargs={"setup": pfc_setup, "share_code_segments": False},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("Ablation: code-segment sharing disabled")
+        print(format_table2(unshared))
+    for with_sharing, without_sharing in zip(shared, unshared):
+        assert without_sharing.single_task_bytes >= with_sharing.single_task_bytes

@@ -1,0 +1,30 @@
+"""Applications and example systems used by tests, examples and benchmarks.
+
+* :mod:`repro.apps.paper_nets` -- the hand-built Petri nets of the paper's
+  figures (Figures 4-8), used to validate the scheduling machinery.
+* :mod:`repro.apps.divisors` -- the divisors process of Figure 1.
+* :mod:`repro.apps.video` -- the producer / filter / consumer / controller
+  video application of Section 8 (the "PFC" experiment).
+* :mod:`repro.apps.false_paths` -- the process pair of Section 7.2
+  illustrating false paths and the SELECT-based rewrite.
+* :mod:`repro.apps.workloads` -- synthetic workload generators for stress and
+  property tests.
+"""
+
+from repro.apps import paper_nets
+from repro.apps.divisors import build_divisors_network, DIVISORS_SOURCE
+from repro.apps.false_paths import (
+    build_false_path_network,
+    build_select_rewrite_network,
+)
+from repro.apps.video import VideoAppConfig, build_video_network
+
+__all__ = [
+    "DIVISORS_SOURCE",
+    "VideoAppConfig",
+    "build_divisors_network",
+    "build_false_path_network",
+    "build_select_rewrite_network",
+    "build_video_network",
+    "paper_nets",
+]

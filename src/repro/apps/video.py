@@ -1,0 +1,164 @@
+"""The industrial video application of Section 8 (the "PFC" experiment).
+
+Four FlowC processes (Figure 18):
+
+* ``producer`` generates image data, one line of pixels per port operation;
+* ``filter`` processes pixels one by one using a per-frame coefficient;
+* ``consumer`` re-assembles lines, emits them to the display and acknowledges
+  each frame;
+* ``controller`` governs the system; it is triggered by ``init``, the only
+  uncontrollable port, requests a frame from the producer and supplies the
+  filter coefficient.
+
+The system exhibits multiple data rates (pixels are moved one by one between
+filter stages but a line at a time elsewhere) and a mix of hard (data path)
+and soft (control path) behaviour, matching the description in Section 8.2.
+The original sources are proprietary; these processes are reconstructed from
+the paper's description with simple pixel-generation / filtering / checksum
+algorithms, which is also what the paper did ("very simple algorithms have
+been used instead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.flowc.linker import LinkedSystem, link
+from repro.flowc.netlist import Network
+
+
+@dataclass(frozen=True)
+class VideoAppConfig:
+    """Size parameters of the video application."""
+
+    lines_per_frame: int = 10
+    pixels_per_line: int = 10
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.lines_per_frame * self.pixels_per_line
+
+
+_TEMPLATE = """
+PROCESS controller (In DPORT init, In DPORT ack, Out DPORT req, Out DPORT coeff) {{
+    int cmd, status, frame, c;
+    frame = 0;
+    while (1) {{
+        READ_DATA(init, &cmd, 1);
+        c = (frame % 7) + 1;
+        if (cmd > 0)
+            c = c + 1;
+        WRITE_DATA(coeff, c, 1);
+        WRITE_DATA(req, frame, 1);
+        READ_DATA(ack, &status, 1);
+        frame = frame + 1;
+    }}
+}}
+
+PROCESS producer (In DPORT req, Out DPORT pix) {{
+    int r, line, p, value, buf[{pixels}];
+    while (1) {{
+        READ_DATA(req, &r, 1);
+        for (line = 0; line < {lines}; line++) {{
+            p = 0;
+            while (p < {pixels}) {{
+                value = (r * 31 + line * {pixels} + p) % 256;
+                buf[p] = value;
+                p++;
+            }}
+            WRITE_DATA(pix, buf, {pixels});
+        }}
+    }}
+}}
+
+PROCESS filter (In DPORT pix, In DPORT coeff, Out DPORT outpix) {{
+    int c, line, p, value, result;
+    while (1) {{
+        READ_DATA(coeff, &c, 1);
+        for (line = 0; line < {lines}; line++) {{
+            for (p = 0; p < {pixels}; p++) {{
+                READ_DATA(pix, &value, 1);
+                result = (value * c) % 256;
+                if (result < 0)
+                    result = 0;
+                WRITE_DATA(outpix, result, 1);
+            }}
+        }}
+    }}
+}}
+
+PROCESS consumer (In DPORT inpix, Out DPORT display, Out DPORT ack) {{
+    int line, p, checksum, buf[{pixels}];
+    while (1) {{
+        checksum = 0;
+        for (line = 0; line < {lines}; line++) {{
+            READ_DATA(inpix, buf, {pixels});
+            for (p = 0; p < {pixels}; p++)
+                checksum = (checksum + buf[p]) % 65536;
+            WRITE_DATA(display, buf, {pixels});
+        }}
+        WRITE_DATA(ack, checksum, 1);
+    }}
+}}
+"""
+
+
+def video_flowc_source(config: VideoAppConfig = VideoAppConfig()) -> str:
+    """The FlowC source of the four processes for a given frame geometry."""
+    return _TEMPLATE.format(lines=config.lines_per_frame, pixels=config.pixels_per_line)
+
+
+def build_video_network(
+    config: VideoAppConfig = VideoAppConfig(),
+    *,
+    channel_bounds: Dict[str, int] | None = None,
+    name: str = "pfc",
+) -> Network:
+    """Build the four-process network of Figure 18.
+
+    ``channel_bounds`` optionally sets per-channel bounds (used by the
+    baseline experiments that vary FIFO sizes); the synthesized single task
+    determines its own bounds from the schedule.
+    """
+    bounds = channel_bounds or {}
+    network = Network(name=name)
+    network.add_processes_from_source(video_flowc_source(config))
+    network.connect("controller", "req", "producer", "req", name="Req", bound=bounds.get("Req"))
+    network.connect("controller", "coeff", "filter", "coeff", name="Coeff", bound=bounds.get("Coeff"))
+    network.connect("producer", "pix", "filter", "pix", name="Pixels1", bound=bounds.get("Pixels1"))
+    network.connect("filter", "outpix", "consumer", "inpix", name="Pixels2", bound=bounds.get("Pixels2"))
+    network.connect("consumer", "ack", "controller", "ack", name="Ack", bound=bounds.get("Ack"))
+    network.declare_input("controller", "init", controllable=False)
+    network.declare_output("consumer", "display", rate=config.pixels_per_line)
+    return network
+
+
+def build_video_system(
+    config: VideoAppConfig = VideoAppConfig(),
+    *,
+    channel_bounds: Dict[str, int] | None = None,
+) -> LinkedSystem:
+    """Compile and link the video application into a single Petri net."""
+    return link(build_video_network(config, channel_bounds=channel_bounds))
+
+
+def reference_frame_checksum(config: VideoAppConfig, frame_index: int, coeff: int) -> int:
+    """Pure-Python reference for the checksum the consumer acknowledges."""
+    checksum = 0
+    for line in range(config.lines_per_frame):
+        for p in range(config.pixels_per_line):
+            value = (frame_index * 31 + line * config.pixels_per_line + p) % 256
+            result = (value * coeff) % 256
+            if result < 0:
+                result = 0
+            checksum = (checksum + result) % 65536
+    return checksum
+
+
+def reference_coefficient(frame_index: int, cmd: int) -> int:
+    """Coefficient the controller computes for a given frame and command."""
+    coeff = (frame_index % 7) + 1
+    if cmd > 0:
+        coeff += 1
+    return coeff

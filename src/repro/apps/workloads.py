@@ -1,0 +1,162 @@
+"""Synthetic workload generators for property tests and scaling benchmarks.
+
+These builders produce parametric FlowC networks and Petri nets whose
+schedulability properties are known by construction, so property-based tests
+can exercise the compiler / scheduler / code generator over a family of inputs
+rather than a handful of hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.flowc.netlist import Network
+from repro.petrinet.net import PetriNet, SourceKind
+
+
+def producer_consumer_source(items: int, *, burst: int = 1) -> str:
+    """A two-process producer/consumer system moving ``items`` values per event.
+
+    The producer sends ``items`` values in bursts of ``burst``; the consumer
+    reads them one at a time and emits a checksum.
+    """
+    if items % burst != 0:
+        raise ValueError("items must be a multiple of burst")
+    bursts = items // burst
+    return f"""
+PROCESS producer (In DPORT trigger, Out DPORT data) {{
+    int t, i, j, buf[{burst}];
+    while (1) {{
+        READ_DATA(trigger, &t, 1);
+        for (i = 0; i < {bursts}; i++) {{
+            j = 0;
+            while (j < {burst}) {{
+                buf[j] = (t + i * {burst} + j) % 97;
+                j++;
+            }}
+            WRITE_DATA(data, buf, {burst});
+        }}
+    }}
+}}
+
+PROCESS consumer (In DPORT data, Out DPORT sum) {{
+    int i, v, acc;
+    while (1) {{
+        acc = 0;
+        for (i = 0; i < {items}; i++) {{
+            READ_DATA(data, &v, 1);
+            acc = (acc + v) % 9973;
+        }}
+        WRITE_DATA(sum, acc, 1);
+    }}
+}}
+"""
+
+
+def build_producer_consumer_network(items: int = 8, *, burst: int = 1) -> Network:
+    """Producer/consumer network with an uncontrollable trigger."""
+    network = Network(name=f"prodcons_{items}_{burst}")
+    network.add_processes_from_source(producer_consumer_source(items, burst=burst))
+    network.connect("producer", "data", "consumer", "data", name="data")
+    network.declare_input("producer", "trigger", controllable=False)
+    network.declare_output("consumer", "sum")
+    return network
+
+
+def pipeline_source(stages: int, items: int) -> str:
+    """A linear pipeline of ``stages`` identical transform processes."""
+    processes: List[str] = [
+        f"""
+PROCESS stage0 (In DPORT trigger, Out DPORT out0) {{
+    int t, i;
+    while (1) {{
+        READ_DATA(trigger, &t, 1);
+        for (i = 0; i < {items}; i++)
+            WRITE_DATA(out0, (t + i) % 251, 1);
+    }}
+}}
+"""
+    ]
+    for stage in range(1, stages):
+        processes.append(
+            f"""
+PROCESS stage{stage} (In DPORT in{stage}, Out DPORT out{stage}) {{
+    int i, v;
+    while (1) {{
+        for (i = 0; i < {items}; i++) {{
+            READ_DATA(in{stage}, &v, 1);
+            v = (v * 3 + {stage}) % 251;
+            WRITE_DATA(out{stage}, v, 1);
+        }}
+    }}
+}}
+"""
+        )
+    return "\n".join(processes)
+
+
+def build_pipeline_network(stages: int = 3, items: int = 4) -> Network:
+    """Linear pipeline network triggered by an uncontrollable input."""
+    if stages < 2:
+        raise ValueError("a pipeline needs at least two stages")
+    network = Network(name=f"pipeline_{stages}_{items}")
+    network.add_processes_from_source(pipeline_source(stages, items))
+    for stage in range(stages - 1):
+        network.connect(
+            f"stage{stage}", f"out{stage}", f"stage{stage + 1}", f"in{stage + 1}", name=f"ch{stage}"
+        )
+    network.declare_input("stage0", "trigger", controllable=False)
+    network.declare_output(f"stage{stages - 1}", f"out{stages - 1}")
+    return network
+
+
+def random_marked_graph(
+    transitions: int,
+    *,
+    seed: int = 0,
+    max_weight: int = 2,
+) -> PetriNet:
+    """A random marked-graph ring driven by an uncontrollable source.
+
+    The net has a ring of ``transitions`` choice-free transitions whose single
+    program-counter token sits at the end of the ring, plus an uncontrollable
+    source ``src`` feeding the first ring transition (one ring rotation per
+    environment event) and random extra edges carrying one token each.  Marked
+    graphs are the class for which scheduling is exactly solvable via
+    T-invariants (Section 4.4); the generator is used by property tests of the
+    invariant machinery and the scheduler.
+    """
+    if transitions < 2:
+        raise ValueError("need at least two transitions")
+    rng = random.Random(seed)
+    net = PetriNet(name=f"marked_graph_{transitions}_{seed}")
+    names = [f"t{i}" for i in range(transitions)]
+    net.add_transition("src", source_kind=SourceKind.UNCONTROLLABLE)
+    for name in names:
+        net.add_transition(name)
+    net.add_place("p_src")
+    net.add_arc("src", "p_src")
+    net.add_arc("p_src", names[0])
+    # a ring of transitions; its token parks at the last place so t0 only
+    # needs the source token to start a rotation
+    for i in range(transitions):
+        place = f"p_ring_{i}"
+        tokens = 1 if i == transitions - 1 else 0
+        source = names[i]
+        target = names[(i + 1) % transitions]
+        net.add_place(place, tokens)
+        net.add_arc(source, place)
+        net.add_arc(place, target)
+    # extra random forward edges (with a token so they cannot deadlock the ring)
+    extra_edges = rng.randint(0, transitions)
+    for j in range(extra_edges):
+        a = rng.randrange(transitions)
+        b = rng.randrange(transitions)
+        if a == b:
+            continue
+        place = f"p_extra_{j}"
+        net.add_place(place, 1)
+        net.add_arc(names[a], place)
+        net.add_arc(place, names[b])
+    return net

@@ -1,0 +1,39 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Each module exposes a ``run_*`` function returning plain data structures and a
+``format_*`` helper producing the table the paper prints, so the benchmarks
+and the examples can share the same code paths:
+
+* :mod:`repro.experiments.figure20` -- execution time vs. FIFO size.
+* :mod:`repro.experiments.table1` -- execution time vs. number of frames.
+* :mod:`repro.experiments.table2` -- code size comparison.
+* :mod:`repro.experiments.schedule_stats` -- scheduling statistics of the PFC
+  example (Section 8.2: single task, unit-size channels, < 1 minute).
+* :mod:`repro.experiments.irrelevance_study` -- irrelevance criterion vs.
+  fixed place bounds on the Figure 7 family.
+"""
+
+from repro.experiments.common import PfcExperimentSetup, build_pfc_setup
+from repro.experiments.figure20 import Figure20Point, run_figure20, format_figure20
+from repro.experiments.table1 import Table1Row, run_table1, format_table1
+from repro.experiments.table2 import Table2Row, run_table2, format_table2
+from repro.experiments.schedule_stats import ScheduleStats, run_schedule_stats
+from repro.experiments.irrelevance_study import IrrelevanceStudyRow, run_irrelevance_study
+
+__all__ = [
+    "Figure20Point",
+    "IrrelevanceStudyRow",
+    "PfcExperimentSetup",
+    "ScheduleStats",
+    "Table1Row",
+    "Table2Row",
+    "build_pfc_setup",
+    "format_figure20",
+    "format_table1",
+    "format_table2",
+    "run_figure20",
+    "run_irrelevance_study",
+    "run_schedule_stats",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,112 @@
+"""Table 1: execution cycles for different numbers of transmitted frames.
+
+The paper reports thousands of clock cycles for the single-task and 4-process
+implementations at 10, 50, 100, 500 and 1000 frames under the three compiler
+options, plus the 4-task / 1-task ratio (3.9 unoptimised, ~5.2 with -O/-O2).
+The 4-process implementation uses buffers of size 100 ("to obtain a faster
+execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.video import VideoAppConfig
+from repro.experiments.common import FAST_CONFIG, PfcExperimentSetup, build_pfc_setup
+
+DEFAULT_FRAME_COUNTS = (10, 50, 100, 500, 1000)
+DEFAULT_PROFILES = ("pfc", "pfc-O", "pfc-O2")
+BASELINE_BUFFER_SIZE = 100
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1: a frame count under one compiler profile."""
+
+    frames: int
+    profile: str
+    single_task_kcycles: float
+    multi_task_kcycles: float
+
+    @property
+    def ratio(self) -> float:
+        if self.single_task_kcycles == 0:
+            return float("inf")
+        return self.multi_task_kcycles / self.single_task_kcycles
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "frames": self.frames,
+            "profile": self.profile,
+            "1 task": round(self.single_task_kcycles, 1),
+            "4 procs": round(self.multi_task_kcycles, 1),
+            "ratio": round(self.ratio, 1),
+        }
+
+
+def run_table1(
+    *,
+    config: VideoAppConfig = FAST_CONFIG,
+    frame_counts: Sequence[int] = DEFAULT_FRAME_COUNTS,
+    profiles: Sequence[str] = DEFAULT_PROFILES,
+    buffer_size: int = BASELINE_BUFFER_SIZE,
+    max_simulated_frames: Optional[int] = 50,
+    setup: Optional[PfcExperimentSetup] = None,
+) -> List[Table1Row]:
+    """Regenerate Table 1.
+
+    ``max_simulated_frames`` bounds the number of frames actually interpreted;
+    larger counts are extrapolated linearly (per-frame work is identical),
+    which is also how the paper's numbers scale (its cycle counts are exactly
+    proportional to the frame count).
+    """
+    setup = setup or build_pfc_setup(config)
+    rows: List[Table1Row] = []
+    for frames in frame_counts:
+        multi, multi_scale = setup.measure(
+            "multi-task", frames, buffer_size=buffer_size, max_simulated_frames=max_simulated_frames
+        )
+        single, single_scale = setup.measure(
+            "single-task", frames, max_simulated_frames=max_simulated_frames
+        )
+        for profile in profiles:
+            rows.append(
+                Table1Row(
+                    frames=frames,
+                    profile=profile,
+                    single_task_kcycles=single.cycles(profile) * single_scale / 1000.0,
+                    multi_task_kcycles=multi.cycles(profile) * multi_scale / 1000.0,
+                )
+            )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the rows in the layout of the paper's Table 1."""
+    profiles = []
+    for row in rows:
+        if row.profile not in profiles:
+            profiles.append(row.profile)
+    frame_counts = sorted({row.frames for row in rows})
+    header = ["frames"]
+    for profile in profiles:
+        header += [f"{profile}:1task", f"{profile}:4procs", f"{profile}:ratio"]
+    lines = ["Table 1: execution cycles (kilocycles) vs. number of frames", "  " + "  ".join(f"{h:>14}" for h in header)]
+    by_key = {(row.frames, row.profile): row for row in rows}
+    for frames in frame_counts:
+        cells = [f"{frames:>14}"]
+        for profile in profiles:
+            row = by_key[(frames, profile)]
+            cells.append(f"{row.single_task_kcycles:>14,.0f}")
+            cells.append(f"{row.multi_task_kcycles:>14,.0f}")
+            cells.append(f"{row.ratio:>14.1f}")
+        lines.append("  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def ratios_by_profile(rows: Sequence[Table1Row]) -> Dict[str, List[float]]:
+    result: Dict[str, List[float]] = {}
+    for row in rows:
+        result.setdefault(row.profile, []).append(row.ratio)
+    return result

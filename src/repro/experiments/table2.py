@@ -1,0 +1,97 @@
+"""Table 2: code size of the single task vs. the four per-process tasks.
+
+The paper reports object sizes in bytes (excluding the RTOS and static data)
+for the controller, producer, filter, consumer, their total, the single
+synthesized task, and the total/single ratio, under the three compiler
+options, with inlined communication primitives (ratios 7.2 - 8.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.video import VideoAppConfig
+from repro.codegen.synthesis import baseline_code_size, synthesized_code_size
+from repro.experiments.common import FAST_CONFIG, PfcExperimentSetup, build_pfc_setup
+
+DEFAULT_PROFILES = ("pfc", "pfc-O", "pfc-O2")
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2: code sizes under one compiler profile."""
+
+    profile: str
+    single_task_bytes: int
+    per_process_bytes: Dict[str, int]
+    inline_communication: bool = True
+    share_code_segments: bool = True
+
+    @property
+    def total_bytes(self) -> int:
+        return self.per_process_bytes["total"]
+
+    @property
+    def ratio(self) -> float:
+        if self.single_task_bytes == 0:
+            return float("inf")
+        return self.total_bytes / self.single_task_bytes
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"profile": self.profile, "1 task": self.single_task_bytes}
+        data.update(self.per_process_bytes)
+        data["ratio"] = round(self.ratio, 1)
+        return data
+
+
+def run_table2(
+    *,
+    config: VideoAppConfig = FAST_CONFIG,
+    profiles: Sequence[str] = DEFAULT_PROFILES,
+    inline_communication: bool = True,
+    share_code_segments: bool = True,
+    setup: Optional[PfcExperimentSetup] = None,
+) -> List[Table2Row]:
+    """Regenerate Table 2 (optionally with the code-sharing ablation)."""
+    setup = setup or build_pfc_setup(config)
+    rows: List[Table2Row] = []
+    for profile in profiles:
+        per_process = baseline_code_size(
+            setup.system, inline_communication=inline_communication, profile=profile
+        )
+        single = synthesized_code_size(
+            setup.synthesized,
+            setup.system,
+            profile=profile,
+            share_code_segments=share_code_segments,
+        )
+        rows.append(
+            Table2Row(
+                profile=profile,
+                single_task_bytes=single,
+                per_process_bytes=per_process,
+                inline_communication=inline_communication,
+                share_code_segments=share_code_segments,
+            )
+        )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    processes = [key for key in rows[0].per_process_bytes if key != "total"]
+    header = ["profile", "1 task"] + processes + ["total", "ratio"]
+    lines = [
+        "Table 2: code size in bytes (communication "
+        + ("inlined" if rows[0].inline_communication else "as function calls")
+        + ")",
+        "  " + "  ".join(f"{h:>10}" for h in header),
+    ]
+    for row in rows:
+        cells = [f"{row.profile:>10}", f"{row.single_task_bytes:>10}"]
+        for process in processes:
+            cells.append(f"{row.per_process_bytes[process]:>10}")
+        cells.append(f"{row.total_bytes:>10}")
+        cells.append(f"{row.ratio:>10.1f}")
+        lines.append("  " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Tokenizer for the FlowC language.
+
+FlowC syntax is a C subset; the lexer is a small hand-rolled scanner that
+produces a flat token stream with line/column information for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class FlowCLexError(Exception):
+    """Raised on an unrecognised character or malformed literal."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+KEYWORDS = {
+    "PROCESS",
+    "In",
+    "Out",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "switch",
+    "case",
+    "default",
+    "break",
+    "continue",
+    "return",
+    "int",
+    "float",
+    "double",
+    "char",
+    "void",
+    "READ_DATA",
+    "WRITE_DATA",
+    "SELECT",
+}
+
+# Port type keywords are open-ended (DPORT, CPORT, ...), recognised contextually
+# by the parser rather than the lexer.
+
+MULTI_CHAR_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "<<",
+    ">>",
+]
+
+SINGLE_CHAR_TOKENS = set("+-*/%<>=!&|^~(){}[];,?:.")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token."""
+
+    kind: str  # 'ident', 'keyword', 'int', 'float', 'string', 'op', 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize FlowC source text into a list of tokens ending with ``eof``."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> FlowCLexError:
+        return FlowCLexError(message, line, column)
+
+    while i < length:
+        ch = source[i]
+
+        # whitespace
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+
+        # comments
+        if ch == "/" and i + 1 < length and source[i + 1] == "/":
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < length and source[i + 1] == "*":
+            i += 2
+            column += 2
+            while i + 1 < length and not (source[i] == "*" and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                i += 1
+            if i + 1 >= length:
+                raise error("unterminated block comment")
+            i += 2
+            column += 2
+            continue
+
+        # identifiers / keywords
+        if _is_ident_start(ch):
+            start = i
+            start_col = column
+            while i < length and _is_ident_char(source[i]):
+                i += 1
+                column += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+
+        # numbers
+        if ch.isdigit():
+            start = i
+            start_col = column
+            is_float = False
+            while i < length and (source[i].isdigit() or source[i] == "."):
+                if source[i] == ".":
+                    if is_float:
+                        raise error("malformed number")
+                    is_float = True
+                i += 1
+                column += 1
+            if i < length and source[i] in "eE":
+                is_float = True
+                i += 1
+                column += 1
+                if i < length and source[i] in "+-":
+                    i += 1
+                    column += 1
+                if i >= length or not source[i].isdigit():
+                    raise error("malformed exponent")
+                while i < length and source[i].isdigit():
+                    i += 1
+                    column += 1
+            text = source[start:i]
+            tokens.append(Token("float" if is_float else "int", text, line, start_col))
+            continue
+
+        # string literals
+        if ch == '"':
+            start_col = column
+            i += 1
+            column += 1
+            chars: List[str] = []
+            while i < length and source[i] != '"':
+                if source[i] == "\\" and i + 1 < length:
+                    escape = source[i + 1]
+                    mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\", "0": "\0"}
+                    chars.append(mapping.get(escape, escape))
+                    i += 2
+                    column += 2
+                    continue
+                if source[i] == "\n":
+                    raise error("unterminated string literal")
+                chars.append(source[i])
+                i += 1
+                column += 1
+            if i >= length:
+                raise error("unterminated string literal")
+            i += 1
+            column += 1
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            continue
+
+        # character literals are treated as int tokens with their ordinal value
+        if ch == "'":
+            start_col = column
+            if i + 2 < length and source[i + 2] == "'":
+                tokens.append(Token("int", str(ord(source[i + 1])), line, start_col))
+                i += 3
+                column += 3
+                continue
+            raise error("malformed character literal")
+
+        # operators / punctuation
+        matched: Optional[str] = None
+        for operator in MULTI_CHAR_OPERATORS:
+            if source.startswith(operator, i):
+                matched = operator
+                break
+        if matched is not None:
+            tokens.append(Token("op", matched, line, column))
+            i += len(matched)
+            column += len(matched)
+            continue
+        if ch in SINGLE_CHAR_TOKENS:
+            tokens.append(Token("op", ch, line, column))
+            i += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def token_stream(source: str) -> Iterator[Token]:
+    """Generator form of :func:`tokenize` (convenience for tests)."""
+    yield from tokenize(source)

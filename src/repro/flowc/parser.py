@@ -1,0 +1,451 @@
+"""Recursive-descent parser for FlowC.
+
+The grammar is the C subset used by the paper's examples plus the port
+primitives:
+
+``PROCESS name(In DPORT p, Out DPORT q) { ... }`` with bodies made of
+declarations, expression statements, ``if``/``else``, ``while``, ``for``,
+``switch``/``case`` (including ``switch (SELECT(...))``), ``break``,
+``continue``, ``return``, ``READ_DATA(port, target, nitems);`` and
+``WRITE_DATA(port, value, nitems);``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.flowc.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Block,
+    Break,
+    Call,
+    CaseClause,
+    Conditional,
+    Continue,
+    Declaration,
+    Declarator,
+    Expression,
+    ExprStatement,
+    FloatLiteral,
+    For,
+    Identifier,
+    If,
+    Index,
+    IntLiteral,
+    PortDecl,
+    PostfixOp,
+    Process,
+    ReadData,
+    Return,
+    SelectExpr,
+    Statement,
+    StringLiteral,
+    Switch,
+    UnaryOp,
+    While,
+    WriteData,
+)
+from repro.flowc.lexer import Token, tokenize
+
+
+class FlowCParseError(Exception):
+    """Raised on a syntax error, with the offending token position."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} (line {token.line}, column {token.column}, got {token.value!r})")
+        self.token = token
+
+
+TYPE_NAMES = {"int", "float", "double", "char", "void"}
+
+# binary operator precedence (higher binds tighter)
+BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+ASSIGNMENT_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def match(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.check(kind, value):
+            expectation = value if value is not None else kind
+            raise FlowCParseError(f"expected {expectation!r}", self.current)
+        return self.advance()
+
+    def error(self, message: str) -> FlowCParseError:
+        return FlowCParseError(message, self.current)
+
+    # -- program / process -------------------------------------------------
+    def parse_program(self) -> List[Process]:
+        processes: List[Process] = []
+        while not self.check("eof"):
+            processes.append(self.parse_process())
+        return processes
+
+    def parse_process(self) -> Process:
+        self.expect("keyword", "PROCESS")
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        ports: List[PortDecl] = []
+        if not self.check("op", ")"):
+            ports.append(self.parse_port_decl())
+            while self.match("op", ","):
+                ports.append(self.parse_port_decl())
+        self.expect("op", ")")
+        self.expect("op", "{")
+        body = self.parse_statement_list_until("}")
+        self.expect("op", "}")
+        return Process(name=name, ports=tuple(ports), body=tuple(body))
+
+    def parse_port_decl(self) -> PortDecl:
+        direction_token = self.current
+        if direction_token.value not in ("In", "Out"):
+            raise self.error("expected 'In' or 'Out' in port declaration")
+        self.advance()
+        port_type = self.expect("ident").value if self.check("ident") else self.expect("keyword").value
+        name = self.expect("ident").value
+        return PortDecl(direction=direction_token.value, port_type=port_type, name=name)
+
+    # -- statements ----------------------------------------------------------
+    def parse_statement_list_until(self, closer: str) -> List[Statement]:
+        statements: List[Statement] = []
+        while not self.check("op", closer) and not self.check("eof"):
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Statement:
+        token = self.current
+        if token.kind == "op" and token.value == "{":
+            self.advance()
+            body = self.parse_statement_list_until("}")
+            self.expect("op", "}")
+            return Block(tuple(body))
+        if token.kind == "keyword":
+            if token.value in TYPE_NAMES:
+                return self.parse_declaration()
+            if token.value == "if":
+                return self.parse_if()
+            if token.value == "while":
+                return self.parse_while()
+            if token.value == "for":
+                return self.parse_for()
+            if token.value == "switch":
+                return self.parse_switch()
+            if token.value == "break":
+                self.advance()
+                self.expect("op", ";")
+                return Break()
+            if token.value == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return Continue()
+            if token.value == "return":
+                self.advance()
+                value = None if self.check("op", ";") else self.parse_expression()
+                self.expect("op", ";")
+                return Return(value)
+            if token.value == "READ_DATA":
+                return self.parse_read_data()
+            if token.value == "WRITE_DATA":
+                return self.parse_write_data()
+        if token.kind == "op" and token.value == ";":
+            self.advance()
+            return Block(())
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ExprStatement(expr)
+
+    def parse_declaration(self) -> Declaration:
+        type_name = self.advance().value
+        declarators: List[Declarator] = [self.parse_declarator()]
+        while self.match("op", ","):
+            declarators.append(self.parse_declarator())
+        self.expect("op", ";")
+        return Declaration(type_name=type_name, declarators=tuple(declarators))
+
+    def parse_declarator(self) -> Declarator:
+        name = self.expect("ident").value
+        array_size: Optional[Expression] = None
+        init: Optional[Expression] = None
+        if self.match("op", "["):
+            array_size = self.parse_expression()
+            self.expect("op", "]")
+        if self.match("op", "="):
+            init = self.parse_assignment_expression()
+        return Declarator(name=name, array_size=array_size, init=init)
+
+    def parse_if(self) -> If:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        then_body = self._parse_branch_body()
+        else_body: Optional[Tuple[Statement, ...]] = None
+        if self.match("keyword", "else"):
+            else_body = self._parse_branch_body()
+        return If(condition=condition, then_body=then_body, else_body=else_body)
+
+    def _parse_branch_body(self) -> Tuple[Statement, ...]:
+        statement = self.parse_statement()
+        if isinstance(statement, Block):
+            return statement.statements
+        return (statement,)
+
+    def parse_while(self) -> While:
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        body = self._parse_branch_body()
+        return While(condition=condition, body=body)
+
+    def parse_for(self) -> For:
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        init = None if self.check("op", ";") else self.parse_expression()
+        self.expect("op", ";")
+        condition = None if self.check("op", ";") else self.parse_expression()
+        self.expect("op", ";")
+        update = None if self.check("op", ")") else self.parse_expression()
+        self.expect("op", ")")
+        body = self._parse_branch_body()
+        return For(init=init, condition=condition, update=update, body=body)
+
+    def parse_switch(self) -> Switch:
+        self.expect("keyword", "switch")
+        self.expect("op", "(")
+        subject = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: List[CaseClause] = []
+        while not self.check("op", "}"):
+            if self.match("keyword", "case"):
+                value = self.parse_expression()
+                self.expect("op", ":")
+            elif self.match("keyword", "default"):
+                value = None
+                self.expect("op", ":")
+            else:
+                raise self.error("expected 'case' or 'default' inside switch")
+            body: List[Statement] = []
+            while not self.check("keyword", "case") and not self.check("keyword", "default") and not self.check("op", "}"):
+                statement = self.parse_statement()
+                body.append(statement)
+            # a trailing `break;` just terminates the case; keep it in the body
+            cases.append(CaseClause(value=value, body=tuple(body)))
+        self.expect("op", "}")
+        return Switch(subject=subject, cases=tuple(cases))
+
+    def parse_read_data(self) -> ReadData:
+        self.expect("keyword", "READ_DATA")
+        self.expect("op", "(")
+        port = self.expect("ident").value
+        self.expect("op", ",")
+        target = self.parse_assignment_expression()
+        self.expect("op", ",")
+        nitems = self.parse_assignment_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ReadData(port=port, target=target, nitems=nitems)
+
+    def parse_write_data(self) -> WriteData:
+        self.expect("keyword", "WRITE_DATA")
+        self.expect("op", "(")
+        port = self.expect("ident").value
+        self.expect("op", ",")
+        value = self.parse_assignment_expression()
+        self.expect("op", ",")
+        nitems = self.parse_assignment_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return WriteData(port=port, value=value, nitems=nitems)
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        return self.parse_assignment_expression()
+
+    def parse_assignment_expression(self) -> Expression:
+        left = self.parse_conditional()
+        if self.current.kind == "op" and self.current.value in ASSIGNMENT_OPS:
+            op = self.advance().value
+            value = self.parse_assignment_expression()
+            return Assignment(target=left, op=op, value=value)
+        return left
+
+    def parse_conditional(self) -> Expression:
+        condition = self.parse_binary(0)
+        if self.match("op", "?"):
+            then = self.parse_assignment_expression()
+            self.expect("op", ":")
+            other = self.parse_assignment_expression()
+            return Conditional(condition=condition, then=then, other=other)
+        return condition
+
+    def parse_binary(self, min_precedence: int) -> Expression:
+        left = self.parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op" or token.value not in BINARY_PRECEDENCE:
+                return left
+            precedence = BINARY_PRECEDENCE[token.value]
+            if precedence < min_precedence:
+                return left
+            op = self.advance().value
+            right = self.parse_binary(precedence + 1)
+            left = BinaryOp(op=op, left=left, right=right)
+
+    def parse_unary(self) -> Expression:
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "+", "!", "~", "&", "*"):
+            self.advance()
+            operand = self.parse_unary()
+            return UnaryOp(op=token.value, operand=operand)
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return UnaryOp(op=token.value, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expression:
+        expr = self.parse_primary()
+        while True:
+            if self.check("op", "["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = Index(base=expr, index=index)
+                continue
+            if self.check("op", "++") or self.check("op", "--"):
+                op = self.advance().value
+                expr = PostfixOp(op=op, operand=expr)
+                continue
+            return expr
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return IntLiteral(int(token.value))
+        if token.kind == "float":
+            self.advance()
+            return FloatLiteral(float(token.value))
+        if token.kind == "string":
+            self.advance()
+            return StringLiteral(token.value)
+        if token.kind == "keyword" and token.value == "SELECT":
+            return self.parse_select()
+        if token.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                self.advance()
+                args: List[Expression] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_assignment_expression())
+                    while self.match("op", ","):
+                        args.append(self.parse_assignment_expression())
+                self.expect("op", ")")
+                return Call(name=token.value, args=tuple(args))
+            return Identifier(token.value)
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise self.error("expected an expression")
+
+    def parse_select(self) -> SelectExpr:
+        self.expect("keyword", "SELECT")
+        self.expect("op", "(")
+        entries: List[Tuple[str, Expression]] = []
+        port = self.expect("ident").value
+        self.expect("op", ",")
+        count = self.parse_assignment_expression()
+        entries.append((port, count))
+        while self.match("op", ","):
+            port = self.expect("ident").value
+            self.expect("op", ",")
+            count = self.parse_assignment_expression()
+            entries.append((port, count))
+        self.expect("op", ")")
+        return SelectExpr(entries=tuple(entries))
+
+
+def parse_program(source: str) -> List[Process]:
+    """Parse FlowC source containing one or more PROCESS definitions."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_process(source: str) -> Process:
+    """Parse FlowC source containing exactly one PROCESS definition."""
+    processes = parse_program(source)
+    if len(processes) != 1:
+        raise FlowCParseError(
+            f"expected exactly one process, found {len(processes)}",
+            Token("eof", "", 0, 0),
+        )
+    return processes[0]
+
+
+def parse_expression(source: str) -> Expression:
+    """Parse a single FlowC expression (used by tests and the builder API)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expression()
+    parser.expect("eof")
+    return expr
+
+
+def parse_statements(source: str) -> Tuple[Statement, ...]:
+    """Parse a sequence of FlowC statements (no surrounding process)."""
+    parser = _Parser(tokenize(source))
+    statements = parser.parse_statement_list_until("\0")
+    parser.expect("eof")
+    return tuple(statements)

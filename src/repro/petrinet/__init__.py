@@ -1,0 +1,64 @@
+"""Petri net kernel used as the formal substrate of the scheduling flow.
+
+The paper models the linked network of FlowC processes as a single Petri net
+(Section 2).  This package provides:
+
+* :mod:`repro.petrinet.net` -- places, transitions, weighted arcs, nets.
+* :mod:`repro.petrinet.marking` -- immutable markings with firing rules.
+* :mod:`repro.petrinet.analysis` -- equal conflict sets, choice-place
+  classification, place degrees, unique-choice checks.
+* :mod:`repro.petrinet.reachability` -- reachability graph / tree exploration.
+* :mod:`repro.petrinet.invariants` -- incidence matrix and non-negative
+  T-invariant basis (Farkas algorithm).
+* :mod:`repro.petrinet.covering` -- heuristic binate covering solver used by
+  the candidate-invariant selection of Section 5.5.2.
+"""
+
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import (
+    ArcError,
+    PetriNet,
+    Place,
+    PetriNetError,
+    SourceKind,
+    Transition,
+)
+from repro.petrinet.analysis import (
+    ChoiceKind,
+    StructuralAnalysis,
+    compute_ecs_partition,
+    place_degree,
+)
+from repro.petrinet.reachability import (
+    ReachabilityGraph,
+    ReachabilityNode,
+    build_reachability_graph,
+)
+from repro.petrinet.invariants import (
+    incidence_matrix,
+    t_invariant_basis,
+    is_t_invariant,
+)
+from repro.petrinet.covering import BinateCoveringProblem, solve_binate_covering
+
+__all__ = [
+    "ArcError",
+    "BinateCoveringProblem",
+    "ChoiceKind",
+    "Marking",
+    "PetriNet",
+    "PetriNetError",
+    "Place",
+    "ReachabilityGraph",
+    "ReachabilityNode",
+    "SourceKind",
+    "StructuralAnalysis",
+    "Transition",
+    "build_reachability_graph",
+    "compute_ecs_partition",
+    "incidence_matrix",
+    "is_t_invariant",
+    "place_degree",
+    "solve_binate_covering",
+    "t_invariant_basis",
+]

@@ -1,0 +1,150 @@
+"""Heuristic binate covering solver.
+
+Section 5.5.2 reduces the choice of a *candidate invariant* (a subset of the
+T-invariant base whose sum satisfies the necessary fireability condition of
+Theorem 5.3) to a binate covering problem:
+
+* columns correspond to the invariants of the base;
+* each row encodes, for a pseudo-enabled ECS and an offending invariant ``b``
+  (an invariant whose process appears but which contains no transition of the
+  ECS), the clause "either do not pick ``b``, or also pick some invariant that
+  contains a transition of the ECS".
+
+A feasible solution is a subset of columns such that every row either has no
+selected column with a ``0`` entry, or has at least one selected column with a
+``1`` entry.  We implement the classical greedy feasible-solution heuristic
+referenced in the paper ([10]): repeatedly satisfy violated rows by adding the
+column that fixes the most of them, or by removing an offending column when no
+addition helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+# Cell values: 1 means "selecting this column satisfies the row",
+# 0 means "selecting this column violates the row unless some 1-column is
+# also selected", None ('-') means "irrelevant".
+Cell = Optional[int]
+
+
+@dataclass
+class BinateCoveringProblem:
+    """A binate covering instance over named columns."""
+
+    columns: List[str]
+    rows: List[Dict[str, Cell]] = field(default_factory=list)
+    # optional per-column weight (to be minimised); defaults to 1
+    weights: Dict[str, int] = field(default_factory=dict)
+
+    def add_row(self, entries: Dict[str, int]) -> None:
+        """Add a row; ``entries`` maps column name -> 0 or 1."""
+        unknown = set(entries) - set(self.columns)
+        if unknown:
+            raise ValueError(f"row refers to unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(entries))
+
+    def weight(self, column: str) -> int:
+        return self.weights.get(column, 1)
+
+    def row_satisfied(self, row: Dict[str, Cell], selection: Set[str]) -> bool:
+        """A row is satisfied if some selected column has a 1, or no selected
+        column has a 0."""
+        has_positive = any(row.get(col) == 1 for col in selection)
+        if has_positive:
+            return True
+        has_negative = any(row.get(col) == 0 for col in selection)
+        return not has_negative
+
+    def is_feasible(self, selection: Set[str]) -> bool:
+        return all(self.row_satisfied(row, selection) for row in self.rows)
+
+    def violated_rows(self, selection: Set[str]) -> List[Dict[str, Cell]]:
+        return [row for row in self.rows if not self.row_satisfied(row, selection)]
+
+
+def solve_binate_covering(
+    problem: BinateCoveringProblem,
+    *,
+    initial: Optional[Set[str]] = None,
+    max_iterations: int = 1000,
+) -> Optional[Set[str]]:
+    """Find a feasible (heuristically small) solution, or ``None``.
+
+    The search starts from ``initial`` (default: all columns selected, the
+    most permissive candidate invariant) and alternates two repair moves on
+    violated rows:
+
+    1. add a column whose selection satisfies the largest number of currently
+       violated rows without breaking satisfied unate rows;
+    2. otherwise remove a selected column that appears with a ``0`` in some
+       violated row.
+
+    After reaching feasibility, a greedy minimisation pass removes columns
+    whose removal keeps the solution feasible (preferring heavier columns).
+    """
+    selection: Set[str] = set(problem.columns) if initial is None else set(initial)
+
+    for _ in range(max_iterations):
+        violated = problem.violated_rows(selection)
+        if not violated:
+            break
+        # Move 1: try adding a column with a 1 in as many violated rows as possible.
+        gain: Dict[str, int] = {}
+        for row in violated:
+            for column, value in row.items():
+                if value == 1 and column not in selection:
+                    gain[column] = gain.get(column, 0) + 1
+        if gain:
+            best = max(sorted(gain), key=lambda c: (gain[c], -problem.weight(c)))
+            selection.add(best)
+            continue
+        # Move 2: remove an offending column (one with a 0 in a violated row).
+        offenders: Dict[str, int] = {}
+        for row in violated:
+            for column, value in row.items():
+                if value == 0 and column in selection:
+                    offenders[column] = offenders.get(column, 0) + 1
+        if not offenders:
+            return None
+        worst = max(sorted(offenders), key=lambda c: (offenders[c], problem.weight(c)))
+        selection.discard(worst)
+    else:
+        return None
+
+    if not problem.is_feasible(selection):
+        return None
+
+    # Minimisation pass: drop columns that are not needed.
+    for column in sorted(selection, key=lambda c: -problem.weight(c)):
+        candidate = selection - {column}
+        if problem.is_feasible(candidate):
+            selection = candidate
+    return selection
+
+
+def build_candidate_invariant_problem(
+    invariant_names: Sequence[str],
+    pseudo_enabled_rows: Sequence[Tuple[str, FrozenSet[str]]],
+) -> BinateCoveringProblem:
+    """Build the covering problem of Section 5.5.2.
+
+    Parameters
+    ----------
+    invariant_names:
+        Names (column ids) of the invariants in the base.
+    pseudo_enabled_rows:
+        One entry per (offending invariant, set of invariants containing a
+        transition of the pseudo-enabled ECS).  The offending invariant gets a
+        0 cell, the helpers get 1 cells.
+    """
+    problem = BinateCoveringProblem(columns=list(invariant_names))
+    for offender, helpers in pseudo_enabled_rows:
+        row: Dict[str, int] = {offender: 0}
+        for helper in helpers:
+            if helper != offender:
+                row[helper] = 1
+        problem.add_row(row)
+    return problem

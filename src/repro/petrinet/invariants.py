@@ -1,0 +1,186 @@
+"""Incidence matrix and T-invariant computation.
+
+Section 5.5.2 of the paper uses a non-negative basis of T-invariants (vectors
+``x >= 0`` with ``C x = 0`` where ``C`` is the incidence matrix) to guide the
+selection of ECSs during scheduling, and uses the *absence* of such a basis as
+a sufficient condition for non-schedulability.
+
+We compute minimal-support non-negative integer invariants with the classical
+Farkas / Fourier-Motzkin elimination algorithm: start from ``[C^T | I]`` and
+eliminate the columns of ``C^T`` one at a time by taking positive combinations
+of rows with opposite signs, dropping rows whose support is a superset of
+another row's support.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.petrinet.net import PetriNet
+
+
+def incidence_matrix(net: PetriNet) -> Tuple[np.ndarray, List[str], List[str]]:
+    """Return ``(C, places, transitions)`` with ``C[i, j] = F(t_j, p_i) - F(p_i, t_j)``.
+
+    Rows are indexed by places and columns by transitions, both in sorted name
+    order so the matrix is reproducible.
+    """
+    places = sorted(net.places)
+    transitions = sorted(net.transitions)
+    place_index = {p: i for i, p in enumerate(places)}
+    matrix = np.zeros((len(places), len(transitions)), dtype=np.int64)
+    for j, transition in enumerate(transitions):
+        for place, weight in net.pre[transition].items():
+            matrix[place_index[place], j] -= weight
+        for place, weight in net.post[transition].items():
+            matrix[place_index[place], j] += weight
+    return matrix, places, transitions
+
+
+def _normalise_row(row: np.ndarray) -> np.ndarray:
+    """Divide a non-negative integer row by the gcd of its entries."""
+    nonzero = [int(v) for v in row if v != 0]
+    if not nonzero:
+        return row
+    divisor = 0
+    for value in nonzero:
+        divisor = gcd(divisor, abs(value))
+    if divisor > 1:
+        return row // divisor
+    return row
+
+
+def _support(row: np.ndarray) -> frozenset:
+    return frozenset(int(i) for i in np.nonzero(row)[0])
+
+
+def _drop_non_minimal(rows: List[np.ndarray], width: int) -> List[np.ndarray]:
+    """Remove rows whose invariant-part support strictly contains another's."""
+    supports = [_support(row[-width:]) for row in rows]
+    keep: List[np.ndarray] = []
+    for i, row in enumerate(rows):
+        minimal = True
+        for j, other in enumerate(rows):
+            if i == j:
+                continue
+            if supports[j] < supports[i]:
+                minimal = False
+                break
+            if supports[j] == supports[i] and j < i:
+                minimal = False
+                break
+        if minimal:
+            keep.append(row)
+    return keep
+
+
+def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, int]]:
+    """Minimal-support non-negative T-invariants of ``net``.
+
+    Returns a list of sparse vectors (transition name -> positive count).  The
+    empty list means the net admits no non-trivial T-invariant, which by the
+    argument of Section 5.5.2 implies no cyclic schedule exists.
+
+    ``max_rows`` caps the intermediate tableau to keep the elimination from
+    exploding on pathological nets; when the cap is hit the result is still a
+    set of valid invariants but may not contain every minimal one.
+    """
+    matrix, _places, transitions = incidence_matrix(net)
+    n_places, n_transitions = matrix.shape
+    if n_transitions == 0:
+        return []
+    # tableau rows: [C^T row | identity row]
+    tableau = np.hstack([matrix.T, np.eye(n_transitions, dtype=np.int64)])
+    rows: List[np.ndarray] = [tableau[i].copy() for i in range(n_transitions)]
+
+    for column in range(n_places):
+        positive = [row for row in rows if row[column] > 0]
+        negative = [row for row in rows if row[column] < 0]
+        zero = [row for row in rows if row[column] == 0]
+        combined: List[np.ndarray] = list(zero)
+        for prow in positive:
+            for nrow in negative:
+                a = int(prow[column])
+                b = -int(nrow[column])
+                factor = a * b // gcd(a, b)
+                new_row = (factor // a) * prow + (factor // b) * nrow
+                new_row = _normalise_row(new_row)
+                combined.append(new_row)
+                if len(combined) > max_rows:
+                    break
+            if len(combined) > max_rows:
+                break
+        rows = _drop_non_minimal(combined, n_transitions)
+        if len(rows) > max_rows:
+            rows = rows[:max_rows]
+
+    invariants: List[Dict[str, int]] = []
+    seen = set()
+    for row in rows:
+        invariant_part = row[-n_transitions:]
+        if np.all(invariant_part == 0):
+            continue
+        if np.any(invariant_part < 0):
+            continue
+        key = tuple(int(v) for v in invariant_part)
+        if key in seen:
+            continue
+        seen.add(key)
+        invariants.append(
+            {transitions[i]: int(v) for i, v in enumerate(invariant_part) if v != 0}
+        )
+    invariants.sort(key=lambda inv: (len(inv), sorted(inv.items())))
+    return invariants
+
+
+def is_t_invariant(net: PetriNet, vector: Dict[str, int]) -> bool:
+    """Check that ``vector`` (transition -> count) satisfies ``C x = 0``."""
+    matrix, _places, transitions = incidence_matrix(net)
+    x = np.zeros(len(transitions), dtype=np.int64)
+    index = {t: i for i, t in enumerate(transitions)}
+    for transition, count in vector.items():
+        if transition not in index:
+            return False
+        if count < 0:
+            return False
+        x[index[transition]] = count
+    return bool(np.all(matrix @ x == 0))
+
+
+def invariant_support(invariant: Dict[str, int]) -> frozenset:
+    """The set of transitions occurring in an invariant."""
+    return frozenset(t for t, count in invariant.items() if count > 0)
+
+
+def combine_invariants(invariants: Sequence[Dict[str, int]]) -> Dict[str, int]:
+    """Component-wise sum of several invariants (itself an invariant)."""
+    result: Dict[str, int] = {}
+    for invariant in invariants:
+        for transition, count in invariant.items():
+            result[transition] = result.get(transition, 0) + count
+    return {t: c for t, c in result.items() if c}
+
+
+def firing_count_vector(sequence: Sequence[str]) -> Dict[str, int]:
+    """Parikh vector of a firing sequence."""
+    counts: Dict[str, int] = {}
+    for transition in sequence:
+        counts[transition] = counts.get(transition, 0) + 1
+    return counts
+
+
+def subtract_firings(invariant: Dict[str, int], fired: Dict[str, int]) -> Optional[Dict[str, int]]:
+    """Subtract fired counts from an invariant, clipping at zero.
+
+    Returns ``None`` if the invariant is exhausted (all entries consumed),
+    which signals that the corresponding cyclic behaviour has completed.
+    """
+    remaining: Dict[str, int] = {}
+    for transition, count in invariant.items():
+        left = count - fired.get(transition, 0)
+        if left > 0:
+            remaining[transition] = left
+    return remaining or None

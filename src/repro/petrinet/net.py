@@ -1,0 +1,449 @@
+"""Core Petri net data structures.
+
+The net follows the definition of Section 2 of the paper: a tuple
+``(P, T, F, M0)`` where ``F`` maps ``(P x T) U (T x P)`` to non-negative
+integer weights.  Transitions additionally carry the annotations produced by
+the FlowC compiler (code fragments, condition labels, process of origin,
+source kind) and places carry the attributes used by linking (port/channel
+identity, user-defined bounds, condition expressions for choice places).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.petrinet.marking import Marking
+
+
+class PetriNetError(Exception):
+    """Base class for structural errors in a Petri net."""
+
+
+class ArcError(PetriNetError):
+    """Raised when an arc refers to unknown nodes or has an invalid weight."""
+
+
+class SourceKind(enum.Enum):
+    """Classification of source transitions attached to environment ports."""
+
+    NONE = "none"
+    CONTROLLABLE = "controllable"
+    UNCONTROLLABLE = "uncontrollable"
+
+
+@dataclass
+class Place:
+    """A place of the net.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the net.
+    bound:
+        Optional user-defined bound on the number of tokens (channel bound).
+    is_port:
+        True for places that model a FlowC port / channel.
+    channel:
+        Name of the channel this place implements, when ``is_port``.
+    process:
+        Name of the process the place belongs to (``None`` for merged channel
+        places shared by two processes).
+    condition:
+        For choice places introduced by ``if``/``while`` statements, the
+        source expression whose run-time value selects the successor.
+    """
+
+    name: str
+    bound: Optional[int] = None
+    is_port: bool = False
+    channel: Optional[str] = None
+    process: Optional[str] = None
+    condition: Optional[object] = None
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass
+class Transition:
+    """A transition of the net.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the net.
+    code:
+        Opaque annotation carrying the FlowC statements executed when the
+        transition fires (a list of AST statements, or ``None`` for silent
+        transitions).
+    process:
+        Name of the originating FlowC process (``None`` for environment
+        source/sink transitions).
+    source_kind:
+        Whether the transition is an environment source and of which class.
+    is_sink:
+        True for environment sink transitions attached to primary outputs.
+    guard:
+        For transitions that resolve a data-dependent choice, ``True`` or
+        ``False`` depending on the branch they represent; ``None`` otherwise.
+    select_priority:
+        Priority used to resolve SELECT choices (lower value = higher
+        priority); ``None`` for transitions not created by SELECT.
+    """
+
+    name: str
+    code: object = None
+    process: Optional[str] = None
+    source_kind: SourceKind = SourceKind.NONE
+    is_sink: bool = False
+    guard: Optional[bool] = None
+    select_priority: Optional[int] = None
+
+    @property
+    def is_source(self) -> bool:
+        return self.source_kind is not SourceKind.NONE
+
+    @property
+    def is_uncontrollable_source(self) -> bool:
+        return self.source_kind is SourceKind.UNCONTROLLABLE
+
+    @property
+    def is_controllable_source(self) -> bool:
+        return self.source_kind is SourceKind.CONTROLLABLE
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass
+class PetriNet:
+    """A weighted Petri net with an initial marking."""
+
+    name: str = "net"
+    places: Dict[str, Place] = field(default_factory=dict)
+    transitions: Dict[str, Transition] = field(default_factory=dict)
+    # pre[t][p] = F(p, t); post[t][p] = F(t, p)
+    pre: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    post: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    initial_tokens: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_place(
+        self,
+        name: str,
+        tokens: int = 0,
+        *,
+        bound: Optional[int] = None,
+        is_port: bool = False,
+        channel: Optional[str] = None,
+        process: Optional[str] = None,
+        condition: Optional[object] = None,
+    ) -> Place:
+        """Add a place; raises if the name is already used."""
+        if name in self.places:
+            raise PetriNetError(f"duplicate place {name!r}")
+        if name in self.transitions:
+            raise PetriNetError(f"name {name!r} already used by a transition")
+        if tokens < 0:
+            raise PetriNetError(f"negative initial tokens for place {name!r}")
+        place = Place(
+            name=name,
+            bound=bound,
+            is_port=is_port,
+            channel=channel,
+            process=process,
+            condition=condition,
+        )
+        self.places[name] = place
+        if tokens:
+            self.initial_tokens[name] = tokens
+        return place
+
+    def add_transition(
+        self,
+        name: str,
+        *,
+        code: object = None,
+        process: Optional[str] = None,
+        source_kind: SourceKind = SourceKind.NONE,
+        is_sink: bool = False,
+        guard: Optional[bool] = None,
+        select_priority: Optional[int] = None,
+    ) -> Transition:
+        """Add a transition; raises if the name is already used."""
+        if name in self.transitions:
+            raise PetriNetError(f"duplicate transition {name!r}")
+        if name in self.places:
+            raise PetriNetError(f"name {name!r} already used by a place")
+        transition = Transition(
+            name=name,
+            code=code,
+            process=process,
+            source_kind=source_kind,
+            is_sink=is_sink,
+            guard=guard,
+            select_priority=select_priority,
+        )
+        self.transitions[name] = transition
+        self.pre[name] = {}
+        self.post[name] = {}
+        return transition
+
+    def add_arc(self, src: str, dst: str, weight: int = 1) -> None:
+        """Add an arc from ``src`` to ``dst`` with the given weight.
+
+        One endpoint must be a place and the other a transition.  Adding an
+        arc that already exists accumulates the weight.
+        """
+        if weight <= 0:
+            raise ArcError(f"arc weight must be positive, got {weight}")
+        if src in self.places and dst in self.transitions:
+            self.pre[dst][src] = self.pre[dst].get(src, 0) + weight
+        elif src in self.transitions and dst in self.places:
+            self.post[src][dst] = self.post[src].get(dst, 0) + weight
+        else:
+            raise ArcError(f"arc ({src!r}, {dst!r}) does not connect a place and a transition")
+
+    # ------------------------------------------------------------------
+    # weights / structure queries
+    # ------------------------------------------------------------------
+    def weight_pt(self, place: str, transition: str) -> int:
+        """F(p, t): weight of the arc from ``place`` to ``transition``."""
+        return self.pre.get(transition, {}).get(place, 0)
+
+    def weight_tp(self, transition: str, place: str) -> int:
+        """F(t, p): weight of the arc from ``transition`` to ``place``."""
+        return self.post.get(transition, {}).get(place, 0)
+
+    def preset_of_transition(self, transition: str) -> Dict[str, int]:
+        """Places feeding ``transition`` with their weights."""
+        return dict(self.pre[transition])
+
+    def postset_of_transition(self, transition: str) -> Dict[str, int]:
+        """Places fed by ``transition`` with their weights."""
+        return dict(self.post[transition])
+
+    def preset_of_place(self, place: str) -> Dict[str, int]:
+        """Transitions feeding ``place`` with their weights."""
+        result: Dict[str, int] = {}
+        for transition, places in self.post.items():
+            if place in places:
+                result[transition] = places[place]
+        return result
+
+    def postset_of_place(self, place: str) -> Dict[str, int]:
+        """Transitions consuming from ``place`` with their weights."""
+        result: Dict[str, int] = {}
+        for transition, places in self.pre.items():
+            if place in places:
+                result[transition] = places[place]
+        return result
+
+    def successors_of_place(self, place: str) -> List[str]:
+        return sorted(self.postset_of_place(place))
+
+    def predecessors_of_place(self, place: str) -> List[str]:
+        return sorted(self.preset_of_place(place))
+
+    # ------------------------------------------------------------------
+    # marking / firing semantics
+    # ------------------------------------------------------------------
+    @property
+    def initial_marking(self) -> Marking:
+        return Marking(self.initial_tokens)
+
+    def set_initial_tokens(self, place: str, tokens: int) -> None:
+        if place not in self.places:
+            raise PetriNetError(f"unknown place {place!r}")
+        if tokens < 0:
+            raise PetriNetError("initial token count must be non-negative")
+        if tokens:
+            self.initial_tokens[place] = tokens
+        else:
+            self.initial_tokens.pop(place, None)
+
+    def is_enabled(self, transition: str, marking: Marking) -> bool:
+        """True if ``transition`` is enabled at ``marking``."""
+        if transition not in self.transitions:
+            raise PetriNetError(f"unknown transition {transition!r}")
+        return all(marking[place] >= weight for place, weight in self.pre[transition].items())
+
+    def fire(self, transition: str, marking: Marking) -> Marking:
+        """Fire ``transition`` at ``marking`` and return the new marking."""
+        if not self.is_enabled(transition, marking):
+            raise PetriNetError(f"transition {transition!r} is not enabled at {marking.pretty()}")
+        deltas: Dict[str, int] = {}
+        for place, weight in self.pre[transition].items():
+            deltas[place] = deltas.get(place, 0) - weight
+        for place, weight in self.post[transition].items():
+            deltas[place] = deltas.get(place, 0) + weight
+        return marking.add(deltas)
+
+    def fire_sequence(self, sequence: Sequence[str], marking: Optional[Marking] = None) -> Marking:
+        """Fire a sequence of transitions, raising if any is not enabled."""
+        current = self.initial_marking if marking is None else marking
+        for transition in sequence:
+            current = self.fire(transition, current)
+        return current
+
+    def is_fireable_sequence(self, sequence: Sequence[str], marking: Optional[Marking] = None) -> bool:
+        """True if the sequence can be fired from ``marking`` (default M0)."""
+        current = self.initial_marking if marking is None else marking
+        for transition in sequence:
+            if not self.is_enabled(transition, current):
+                return False
+            current = self.fire(transition, current)
+        return True
+
+    def enabled_transitions(self, marking: Marking) -> List[str]:
+        """All transitions enabled at ``marking`` (sorted by name)."""
+        return sorted(t for t in self.transitions if self.is_enabled(t, marking))
+
+    # ------------------------------------------------------------------
+    # classification helpers
+    # ------------------------------------------------------------------
+    def source_transitions(self) -> List[str]:
+        """Structural sources: transitions with an empty preset."""
+        return sorted(t for t in self.transitions if not self.pre[t])
+
+    def uncontrollable_sources(self) -> List[str]:
+        return sorted(
+            t for t, obj in self.transitions.items() if obj.source_kind is SourceKind.UNCONTROLLABLE
+        )
+
+    def controllable_sources(self) -> List[str]:
+        return sorted(
+            t for t, obj in self.transitions.items() if obj.source_kind is SourceKind.CONTROLLABLE
+        )
+
+    def choice_places(self) -> List[str]:
+        """Places with more than one successor transition."""
+        return sorted(p for p in self.places if len(self.postset_of_place(p)) > 1)
+
+    def port_places(self) -> List[str]:
+        return sorted(p for p, obj in self.places.items() if obj.is_port)
+
+    # ------------------------------------------------------------------
+    # utility
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check referential integrity of arcs and the initial marking."""
+        for transition, places in list(self.pre.items()) + list(self.post.items()):
+            if transition not in self.transitions:
+                raise PetriNetError(f"arc refers to unknown transition {transition!r}")
+            for place in places:
+                if place not in self.places:
+                    raise PetriNetError(f"arc refers to unknown place {place!r}")
+        for place in self.initial_tokens:
+            if place not in self.places:
+                raise PetriNetError(f"initial marking refers to unknown place {place!r}")
+
+    def copy(self, name: Optional[str] = None) -> "PetriNet":
+        """Deep-ish copy of the net (place/transition objects are shared-free)."""
+        clone = PetriNet(name=name or self.name)
+        for place in self.places.values():
+            clone.add_place(
+                place.name,
+                self.initial_tokens.get(place.name, 0),
+                bound=place.bound,
+                is_port=place.is_port,
+                channel=place.channel,
+                process=place.process,
+                condition=place.condition,
+            )
+        for transition in self.transitions.values():
+            clone.add_transition(
+                transition.name,
+                code=transition.code,
+                process=transition.process,
+                source_kind=transition.source_kind,
+                is_sink=transition.is_sink,
+                guard=transition.guard,
+                select_priority=transition.select_priority,
+            )
+        for transition, places in self.pre.items():
+            for place, weight in places.items():
+                clone.add_arc(place, transition, weight)
+        for transition, places in self.post.items():
+            for place, weight in places.items():
+                clone.add_arc(transition, place, weight)
+        return clone
+
+    def stats(self) -> Dict[str, int]:
+        """Basic size statistics of the net."""
+        arcs = sum(len(places) for places in self.pre.values())
+        arcs += sum(len(places) for places in self.post.values())
+        return {
+            "places": len(self.places),
+            "transitions": len(self.transitions),
+            "arcs": arcs,
+            "tokens": sum(self.initial_tokens.values()),
+        }
+
+    def to_dot(self) -> str:
+        """Render the net in Graphviz dot syntax (for documentation)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;"]
+        for place in sorted(self.places):
+            tokens = self.initial_tokens.get(place, 0)
+            label = place if not tokens else f"{place}\\n{tokens}"
+            shape = "ellipse" if not self.places[place].is_port else "doublecircle"
+            lines.append(f'  "{place}" [shape={shape}, label="{label}"];')
+        for transition in sorted(self.transitions):
+            lines.append(f'  "{transition}" [shape=box];')
+        for transition, places in sorted(self.pre.items()):
+            for place, weight in sorted(places.items()):
+                suffix = f' [label="{weight}"]' if weight != 1 else ""
+                lines.append(f'  "{place}" -> "{transition}"{suffix};')
+        for transition, places in sorted(self.post.items()):
+            for place, weight in sorted(places.items()):
+                suffix = f' [label="{weight}"]' if weight != 1 else ""
+                lines.append(f'  "{transition}" -> "{place}"{suffix};')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.transitions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.transitions or name in self.places
+
+
+def merge_nets(nets: Iterable[PetriNet], name: str = "linked") -> PetriNet:
+    """Disjoint union of several nets (no merging of same-named nodes).
+
+    Raises :class:`PetriNetError` if node names collide; the linker is
+    responsible for prefixing names per process before calling this.
+    """
+    merged = PetriNet(name=name)
+    for net in nets:
+        for place in net.places.values():
+            merged.add_place(
+                place.name,
+                net.initial_tokens.get(place.name, 0),
+                bound=place.bound,
+                is_port=place.is_port,
+                channel=place.channel,
+                process=place.process,
+                condition=place.condition,
+            )
+        for transition in net.transitions.values():
+            merged.add_transition(
+                transition.name,
+                code=transition.code,
+                process=transition.process,
+                source_kind=transition.source_kind,
+                is_sink=transition.is_sink,
+                guard=transition.guard,
+                select_priority=transition.select_priority,
+            )
+        for transition, places in net.pre.items():
+            for place, weight in places.items():
+                merged.add_arc(place, transition, weight)
+        for transition, places in net.post.items():
+            for place, weight in places.items():
+                merged.add_arc(transition, place, weight)
+    return merged

@@ -1,0 +1,70 @@
+"""Quasi-static scheduling: the paper's primary contribution.
+
+* :mod:`repro.scheduling.schedule` -- schedule graphs (Section 4.1) and their
+  defining properties, await nodes, channel bounds.
+* :mod:`repro.scheduling.termination` -- termination conditions pruning the
+  search: irrelevance criterion, place bounds (Section 4.4).
+* :mod:`repro.scheduling.heuristics` -- ECS ordering heuristics, including the
+  T-invariant promising vector (Section 5.5).
+* :mod:`repro.scheduling.ep` -- the EP / EP_ECS scheduling algorithm
+  (Section 5.2) with single-source constraint and post-processing.
+* :mod:`repro.scheduling.independence` -- schedule independence (Definition
+  4.3) and executability.
+* :mod:`repro.scheduling.runs` -- runs of a set of schedules against input
+  sequences (Definition 4.1) and dynamic executability checking.
+"""
+
+from repro.scheduling.schedule import (
+    Schedule,
+    ScheduleNode,
+    ScheduleValidationError,
+)
+from repro.scheduling.termination import (
+    CompositeCondition,
+    IrrelevanceCriterion,
+    NodeBudget,
+    PlaceBoundCondition,
+    TerminationCondition,
+    UserBoundCondition,
+    default_termination,
+)
+from repro.scheduling.ep import (
+    SchedulerOptions,
+    SchedulerResult,
+    SchedulingFailure,
+    find_all_schedules,
+    find_schedule,
+)
+from repro.scheduling.independence import (
+    involved_places,
+    involved_transitions,
+    are_mutually_independent,
+    is_independent_set,
+)
+from repro.scheduling.runs import Run, RunError, build_run, check_executability
+
+__all__ = [
+    "CompositeCondition",
+    "IrrelevanceCriterion",
+    "NodeBudget",
+    "PlaceBoundCondition",
+    "Run",
+    "RunError",
+    "Schedule",
+    "ScheduleNode",
+    "ScheduleValidationError",
+    "SchedulerOptions",
+    "SchedulerResult",
+    "SchedulingFailure",
+    "TerminationCondition",
+    "UserBoundCondition",
+    "are_mutually_independent",
+    "build_run",
+    "check_executability",
+    "default_termination",
+    "find_all_schedules",
+    "find_schedule",
+    "involved_places",
+    "involved_transitions",
+    "is_independent_set",
+]

@@ -1,0 +1,520 @@
+"""The scheduling algorithm: functions EP and EP_ECS (Section 5 of the paper).
+
+The algorithm grows a rooted tree whose nodes carry reachable markings.  For
+the source transition ``a`` it creates the root (initial marking) and its
+child (marking after firing ``a``), then searches for an *entering point* of
+the child that is the root itself.  ``EP(v, target)`` looks for an ancestor of
+``target`` reachable from ``v`` no matter how the data-dependent choices
+resolve; ``EP_ECS(E, v, target)`` does so for one enabled ECS by requiring an
+entering point from every transition of the ECS.
+
+Termination conditions (irrelevance criterion, place bounds, node budget)
+prune the search space; Theorem 5.2 guarantees that a schedule is found if and
+only if one exists in the pruned reachability tree.
+
+After a successful search, post-processing retains only the chosen ECSs and
+closes cycles by merging each leaf with the ancestor carrying the same
+marking, yielding a :class:`~repro.scheduling.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.petrinet.analysis import StructuralAnalysis
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import PetriNet
+from repro.scheduling.heuristics import (
+    ECSLookahead,
+    ECSOrderingHeuristic,
+    HeuristicContext,
+    InvariantGuidedOrdering,
+    make_heuristic,
+)
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.termination import (
+    CompositeCondition,
+    TerminationCondition,
+    default_termination,
+)
+
+ECS = FrozenSet[str]
+
+UNDEF = None  # sentinel for "no entering point"
+
+
+class SchedulingFailure(Exception):
+    """Raised by :func:`find_schedule` when ``raise_on_failure`` is set."""
+
+
+@dataclass
+class SchedulerOptions:
+    """Configuration of the scheduling algorithm."""
+
+    single_source: bool = True
+    use_invariant_heuristic: bool = True
+    termination: Optional[TerminationCondition] = None
+    max_nodes: int = 200_000
+    validate: bool = True
+    # Abort early when no T-invariant covers the source transition
+    invariant_precheck: bool = True
+    # "Fire a source transition only when the system cannot fire anything
+    # else" (Section 4.4) applied as a pruning rule: source ECSs are only
+    # explored at a node when every non-source ECS failed to produce an
+    # entering point.  This keeps schedules small (few await nodes) and
+    # avoids deferring part of a reaction to the next environment event.
+    defer_sources: bool = True
+
+
+@dataclass
+class TreeNode:
+    """A node of the scheduling tree."""
+
+    index: int
+    parent: Optional[int]
+    depth: int
+    marking: Marking
+    transition: Optional[str]  # edge label from the parent
+    total_tokens: int = 0
+    children: List[int] = field(default_factory=list)
+    ecs_choice: Optional[ECS] = None
+    equal_ancestor: Optional[int] = None
+
+
+class SchedulingTree:
+    """The rooted tree grown by EP/EP_ECS, plus the current DFS path state."""
+
+    def __init__(self, net: PetriNet):
+        self.net = net
+        self.nodes: List[TreeNode] = []
+        # state of the current DFS path (root .. current node)
+        self._path: List[int] = []
+        self._markings_on_path: Dict[Marking, int] = {}
+        self._path_firings: Dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_root(self, marking: Marking) -> int:
+        assert not self.nodes
+        self.nodes.append(
+            TreeNode(
+                index=0,
+                parent=None,
+                depth=0,
+                marking=marking,
+                transition=None,
+                total_tokens=marking.total_tokens(),
+            )
+        )
+        return 0
+
+    def add_child(self, parent: int, transition: str, marking: Marking) -> int:
+        index = len(self.nodes)
+        node = TreeNode(
+            index=index,
+            parent=parent,
+            depth=self.nodes[parent].depth + 1,
+            marking=marking,
+            transition=transition,
+            total_tokens=marking.total_tokens(),
+        )
+        self.nodes.append(node)
+        self.nodes[parent].children.append(index)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- SchedulingTreeView protocol ---------------------------------------
+    def marking_of(self, node: int) -> Marking:
+        return self.nodes[node].marking
+
+    def total_tokens_of(self, node: int) -> int:
+        return self.nodes[node].total_tokens
+
+    def ancestors_of(self, node: int):
+        """Proper ancestors, nearest first (generator to avoid allocations)."""
+        current = self.nodes[node].parent
+        while current is not None:
+            yield current
+            current = self.nodes[current].parent
+
+    # -- DFS path bookkeeping -------------------------------------------------
+    def push(self, node: int) -> None:
+        tree_node = self.nodes[node]
+        self._path.append(node)
+        if tree_node.marking not in self._markings_on_path:
+            self._markings_on_path[tree_node.marking] = node
+        if tree_node.transition is not None:
+            self._path_firings[tree_node.transition] = (
+                self._path_firings.get(tree_node.transition, 0) + 1
+            )
+
+    def pop(self, node: int) -> None:
+        popped = self._path.pop()
+        assert popped == node
+        tree_node = self.nodes[node]
+        if self._markings_on_path.get(tree_node.marking) == node:
+            del self._markings_on_path[tree_node.marking]
+        if tree_node.transition is not None:
+            self._path_firings[tree_node.transition] -= 1
+            if not self._path_firings[tree_node.transition]:
+                del self._path_firings[tree_node.transition]
+
+    def equal_marking_ancestor(self, node: int) -> Optional[int]:
+        """Proper ancestor on the current path carrying the same marking."""
+        marking = self.nodes[node].marking
+        candidate = self._markings_on_path.get(marking)
+        if candidate is None or candidate == node:
+            return None
+        return candidate
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """True if ``ancestor`` is on the path from the root to ``node``
+        (assuming ``node`` lies on the current DFS path)."""
+        if ancestor == node:
+            return True
+        depth = self.nodes[ancestor].depth
+        if depth >= len(self._path):
+            # node might not be on the path (defensive fallback: walk parents)
+            current: Optional[int] = node
+            while current is not None:
+                if current == ancestor:
+                    return True
+                current = self.nodes[current].parent
+            return False
+        return self._path[depth] == ancestor and depth <= self.nodes[node].depth
+
+    def path_firings(self) -> Mapping[str, int]:
+        return dict(self._path_firings)
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of one scheduling attempt."""
+
+    source_transition: str
+    schedule: Optional[Schedule]
+    tree_nodes: int
+    elapsed_seconds: float
+    failure_reason: Optional[str] = None
+
+    @property
+    def success(self) -> bool:
+        return self.schedule is not None
+
+
+class _EPSearch:
+    """One run of the EP/EP_ECS search for a given source transition."""
+
+    def __init__(
+        self,
+        net: PetriNet,
+        source: str,
+        options: SchedulerOptions,
+        analysis: Optional[StructuralAnalysis] = None,
+        heuristic: Optional[ECSOrderingHeuristic] = None,
+    ):
+        self.net = net
+        self.source = source
+        self.options = options
+        self.analysis = analysis or StructuralAnalysis.of(net)
+        self.termination = options.termination or default_termination(
+            net, analysis=self.analysis, max_nodes=options.max_nodes
+        )
+        self.heuristic = heuristic or make_heuristic(
+            net, self.analysis, source, use_invariants=options.use_invariant_heuristic
+        )
+        self.tree = SchedulingTree(net)
+        self.other_uncontrollable = {
+            t for t in self.analysis.uncontrollable if t != source
+        }
+        self._token_deltas: Dict[str, int] = {
+            t: sum(net.post[t].values()) - sum(net.pre[t].values())
+            for t in net.transitions
+        }
+
+    def _token_delta(self, transition: str) -> int:
+        return self._token_deltas[transition]
+
+    # -- ancestor ordering helpers -----------------------------------------
+    def _closer_to_root(self, a: int, b: int) -> int:
+        return a if self.tree.nodes[a].depth <= self.tree.nodes[b].depth else b
+
+    # -- main entry -----------------------------------------------------------
+    def run(self) -> SchedulerResult:
+        start = time.monotonic()
+        if self.options.invariant_precheck and isinstance(self.heuristic, InvariantGuidedOrdering):
+            if not self.heuristic.source_is_coverable():
+                return SchedulerResult(
+                    source_transition=self.source,
+                    schedule=None,
+                    tree_nodes=0,
+                    elapsed_seconds=time.monotonic() - start,
+                    failure_reason=(
+                        "no T-invariant fires the source transition; "
+                        "no cyclic schedule can exist"
+                    ),
+                )
+        initial = self.net.initial_marking
+        root = self.tree.add_root(initial)
+        self.tree.nodes[root].ecs_choice = frozenset({self.source})
+        child_marking = self.net.fire(self.source, initial)
+        child = self.tree.add_child(root, self.source, child_marking)
+
+        # Pure-Python recursion is heap-allocated on CPython >= 3.11, so a deep
+        # schedule (one tree level per fired transition) only needs a higher
+        # recursion limit, not a bigger C stack.
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 100_000))
+        try:
+            self.tree.push(root)
+            self.tree.push(child)
+            try:
+                entering_point = self._ep(child, root)
+            finally:
+                self.tree.pop(child)
+                self.tree.pop(root)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        elapsed = time.monotonic() - start
+        if entering_point != root:
+            return SchedulerResult(
+                source_transition=self.source,
+                schedule=None,
+                tree_nodes=len(self.tree),
+                elapsed_seconds=elapsed,
+                failure_reason="no entering point reaching the initial marking was found",
+            )
+        schedule = self._post_process(root)
+        if self.options.validate:
+            schedule.validate(self.analysis)
+        return SchedulerResult(
+            source_transition=self.source,
+            schedule=schedule,
+            tree_nodes=len(self.tree),
+            elapsed_seconds=elapsed,
+        )
+
+    # -- EP ----------------------------------------------------------------
+    def _ep(self, v: int, target: int) -> Optional[int]:
+        if self.termination.holds(self.tree, v):
+            return UNDEF
+        equal = self.tree.equal_marking_ancestor(v)
+        if equal is not None:
+            self.tree.nodes[v].equal_ancestor = equal
+            return equal
+
+        marking = self.tree.marking_of(v)
+        enabled = self.analysis.enabled_ecss(marking)
+        if self.options.single_source:
+            enabled = [
+                ecs for ecs in enabled if not (ecs & self.other_uncontrollable)
+            ]
+        if not enabled:
+            return UNDEF
+
+        if len(enabled) == 1:
+            ordered = list(enabled)
+        else:
+            lookahead: Dict[ECS, ECSLookahead] = {}
+            for ecs in enabled:
+                hits = False
+                closes = False
+                delta = min(self._token_delta(transition) for transition in ecs)
+                if not self.analysis.is_source_ecs(ecs):
+                    for transition in ecs:
+                        candidate = self.net.fire(transition, marking)
+                        if self.tree._markings_on_path.get(candidate) is not None:
+                            closes = True
+                            break
+                        probe = self.tree.add_child(v, transition, candidate)
+                        if self.termination.holds(self.tree, probe):
+                            hits = True
+                        # remove the probe node again (it was only a lookahead)
+                        self.tree.nodes.pop()
+                        self.tree.nodes[v].children.pop()
+                        if hits:
+                            break
+                lookahead[ecs] = ECSLookahead(
+                    hits_termination=hits, closes_cycle=closes, token_delta=delta
+                )
+            context = HeuristicContext(
+                marking=marking,
+                path_firings=self.tree.path_firings(),
+                depth=self.tree.nodes[v].depth,
+                lookahead=lookahead,
+            )
+            ordered = self.heuristic.order(enabled, context)
+
+        if self.options.defer_sources:
+            non_source = [ecs for ecs in ordered if not self.analysis.is_source_ecs(ecs)]
+            source_ecss = [ecs for ecs in ordered if self.analysis.is_source_ecs(ecs)]
+        else:
+            non_source = list(ordered)
+            source_ecss = []
+
+        best: Optional[int] = UNDEF
+        for ecs in non_source:
+            entering_point = self._ep_ecs(ecs, v, target)
+            if entering_point is UNDEF:
+                continue
+            if self.tree.is_ancestor(entering_point, target):
+                self.tree.nodes[v].ecs_choice = ecs
+                return entering_point
+            if best is UNDEF or self.tree.nodes[entering_point].depth < self.tree.nodes[best].depth:
+                self.tree.nodes[v].ecs_choice = ecs
+                best = entering_point
+        if best is not UNDEF:
+            return best
+        for ecs in source_ecss:
+            entering_point = self._ep_ecs(ecs, v, target)
+            if entering_point is UNDEF:
+                continue
+            if self.tree.is_ancestor(entering_point, target):
+                self.tree.nodes[v].ecs_choice = ecs
+                return entering_point
+            if best is UNDEF or self.tree.nodes[entering_point].depth < self.tree.nodes[best].depth:
+                self.tree.nodes[v].ecs_choice = ecs
+                best = entering_point
+        return best
+
+    # -- EP_ECS ---------------------------------------------------------------
+    def _ep_ecs(self, ecs: ECS, v: int, target: int) -> Optional[int]:
+        entering_point: Optional[int] = UNDEF
+        current_target = target
+        for transition in sorted(ecs):
+            if len(self.tree) >= self.options.max_nodes:
+                return UNDEF
+            marking = self.net.fire(transition, self.tree.marking_of(v))
+            child = self.tree.add_child(v, transition, marking)
+            self.tree.push(child)
+            try:
+                child_point = self._ep(child, current_target)
+            finally:
+                self.tree.pop(child)
+            if child_point is UNDEF:
+                return UNDEF
+            if not (
+                self.tree.is_ancestor(child_point, v) and child_point != v
+            ):
+                return UNDEF
+            if entering_point is UNDEF:
+                entering_point = child_point
+            else:
+                entering_point = self._closer_to_root(entering_point, child_point)
+            if self.tree.is_ancestor(entering_point, target):
+                current_target = v
+        return entering_point
+
+    # -- post-processing ------------------------------------------------------
+    def _post_process(self, root: int) -> Schedule:
+        retained: Set[int] = set()
+        order: List[int] = []
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in retained:
+                continue
+            retained.add(current)
+            order.append(current)
+            node = self.tree.nodes[current]
+            if node.ecs_choice is None:
+                continue
+            for child_index in node.children:
+                child = self.tree.nodes[child_index]
+                if child.transition in node.ecs_choice and child_index not in retained:
+                    stack.append(child_index)
+
+        # merged leaves: retained nodes that close a cycle on an equal-marking ancestor
+        merged: Dict[int, int] = {}
+        for index in retained:
+            node = self.tree.nodes[index]
+            if node.ecs_choice is None and node.equal_ancestor is not None:
+                merged[index] = node.equal_ancestor
+
+        schedule = Schedule(net=self.net, source_transition=self.source)
+        index_map: Dict[int, int] = {}
+        for index in sorted(retained):
+            if index in merged:
+                continue
+            schedule_node = schedule.add_node(self.tree.nodes[index].marking)
+            index_map[index] = schedule_node.index
+
+        def resolve(index: int) -> int:
+            while index in merged:
+                index = merged[index]
+            return index_map[index]
+
+        for index in sorted(retained):
+            if index in merged:
+                continue
+            node = self.tree.nodes[index]
+            if node.ecs_choice is None:
+                continue
+            for child_index in node.children:
+                child = self.tree.nodes[child_index]
+                if child_index not in retained:
+                    continue
+                if child.transition not in node.ecs_choice:
+                    continue
+                schedule.add_edge(index_map[index], child.transition, resolve(child_index))
+        schedule.root = index_map[root]
+        return schedule
+
+
+def find_schedule(
+    net: PetriNet,
+    source_transition: str,
+    *,
+    options: Optional[SchedulerOptions] = None,
+    analysis: Optional[StructuralAnalysis] = None,
+    heuristic: Optional[ECSOrderingHeuristic] = None,
+    raise_on_failure: bool = False,
+) -> SchedulerResult:
+    """Find a (single-source) schedule for ``source_transition``.
+
+    Returns a :class:`SchedulerResult`; when ``raise_on_failure`` is set a
+    :class:`SchedulingFailure` is raised instead of returning an unsuccessful
+    result.
+    """
+    options = options or SchedulerOptions()
+    if source_transition not in net.transitions:
+        raise KeyError(f"unknown transition {source_transition!r}")
+    search = _EPSearch(net, source_transition, options, analysis=analysis, heuristic=heuristic)
+    result = search.run()
+    if raise_on_failure and not result.success:
+        raise SchedulingFailure(
+            f"no schedule found for {source_transition!r}: {result.failure_reason}"
+        )
+    return result
+
+
+def find_all_schedules(
+    net: PetriNet,
+    *,
+    options: Optional[SchedulerOptions] = None,
+    sources: Optional[Sequence[str]] = None,
+    raise_on_failure: bool = False,
+) -> Dict[str, SchedulerResult]:
+    """Find one schedule per uncontrollable source transition.
+
+    ``sources`` may restrict / extend the set of transitions scheduled (e.g.
+    to include initially-enabled transitions per Property 4.3).
+    """
+    options = options or SchedulerOptions()
+    analysis = StructuralAnalysis.of(net)
+    targets = list(sources) if sources is not None else net.uncontrollable_sources()
+    results: Dict[str, SchedulerResult] = {}
+    for source in targets:
+        results[source] = find_schedule(
+            net,
+            source,
+            options=options,
+            analysis=analysis,
+            raise_on_failure=raise_on_failure,
+        )
+    return results

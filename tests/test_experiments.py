@@ -1,0 +1,118 @@
+"""Tests of the experiment harnesses: the reproduced tables and figures have
+the shape the paper reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.video import VideoAppConfig
+from repro.experiments import (
+    build_pfc_setup,
+    format_figure20,
+    format_table1,
+    format_table2,
+    run_figure20,
+    run_irrelevance_study,
+    run_schedule_stats,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.figure20 import speedup_by_profile
+from repro.experiments.irrelevance_study import format_irrelevance_study
+from repro.experiments.table1 import ratios_by_profile
+
+
+SMALL = VideoAppConfig(lines_per_frame=2, pixels_per_line=3)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_pfc_setup(SMALL)
+
+
+def test_pfc_setup_schedule_properties(setup):
+    # Section 8.2: a single task is generated and every control channel has
+    # unit size; the pixel channels hold at most one line.
+    assert len(setup.schedule.await_nodes()) == 1
+    assert setup.schedule.is_single_source()
+    bounds = {}
+    for place, bound in setup.schedule.channel_bounds().items():
+        channel = setup.system.channel_of_place(place)
+        if channel:
+            bounds[channel] = bound
+    assert bounds["Req"] == 1 and bounds["Ack"] == 1 and bounds["Coeff"] == 1
+    assert bounds["Pixels1"] == SMALL.pixels_per_line
+    assert setup.scheduling_seconds < 60.0  # "in less than a minute"
+
+
+def test_figure20_shape(setup):
+    points = run_figure20(setup=setup, frames=4, buffer_sizes=(1, 5, 20), profiles=("pfc", "pfc-O"))
+    multi = [p for p in points if p.implementation == "multi-task" and p.profile == "pfc"]
+    single = [p for p in points if p.implementation == "single-task" and p.profile == "pfc"]
+    assert len(multi) == 3 and len(single) == 1
+    # larger buffers never hurt the 4-task implementation
+    cycles_by_buffer = {p.buffer_size: p.cycles for p in multi}
+    assert cycles_by_buffer[20] <= cycles_by_buffer[1]
+    # the single task beats every 4-task configuration
+    assert all(single[0].cycles < p.cycles for p in multi)
+    speedups = speedup_by_profile(points)
+    assert 2.0 < speedups["pfc"] < 20.0
+    text = format_figure20(points)
+    assert "single task" in text and "speed-up" in text
+
+
+def test_table1_shape(setup):
+    rows = run_table1(
+        setup=setup,
+        frame_counts=(10, 50, 100),
+        profiles=("pfc", "pfc-O", "pfc-O2"),
+        max_simulated_frames=10,
+    )
+    ratios = ratios_by_profile(rows)
+    # the paper reports ~3.9 unoptimised and ~5.1-5.2 with -O/-O2; we require
+    # the same shape: single task wins by roughly 3-8x and the optimised
+    # ratios are at least as large as the unoptimised one.
+    for profile, values in ratios.items():
+        for value in values:
+            assert 2.5 < value < 9.0
+    assert min(ratios["pfc-O"]) >= max(ratios["pfc"]) - 0.5
+    # cycles scale linearly with the number of frames
+    by_frames = {row.frames: row.multi_task_kcycles for row in rows if row.profile == "pfc"}
+    assert by_frames[100] == pytest.approx(10 * by_frames[10], rel=0.2)
+    text = format_table1(rows)
+    assert "Table 1" in text and "ratio" in text
+
+
+def test_table2_shape(setup):
+    rows = run_table2(setup=setup)
+    for row in rows:
+        # the single task is several times smaller than the four tasks together
+        assert row.ratio > 2.0
+        assert set(row.per_process_bytes) == {"controller", "producer", "filter", "consumer", "total"}
+        assert row.total_bytes == sum(
+            size for name, size in row.per_process_bytes.items() if name != "total"
+        )
+    text = format_table2(rows)
+    assert "Table 2" in text
+    # the function-call variant shrinks the baseline (as the paper notes)
+    called = run_table2(setup=setup, inline_communication=False)
+    assert called[0].total_bytes < rows[0].total_bytes
+
+
+def test_schedule_stats_experiment():
+    stats = run_schedule_stats(SMALL)
+    assert stats.success
+    assert stats.tasks_generated == 1
+    assert stats.await_nodes == 1
+    assert stats.all_control_channels_unit_size
+    assert stats.seconds < 60.0
+
+
+def test_irrelevance_study_reproduces_figure7_argument():
+    rows = run_irrelevance_study(ks=(3, 4), bounds=(2,), max_nodes=4000)
+    irrelevance_rows = [row for row in rows if row.condition == "irrelevance"]
+    bound_rows = [row for row in rows if row.condition.startswith("bound")]
+    assert all(row.success for row in irrelevance_rows)
+    assert all(not row.success for row in bound_rows)
+    text = format_irrelevance_study(rows)
+    assert "irrelevance" in text

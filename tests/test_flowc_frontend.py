@@ -1,0 +1,431 @@
+"""Tests for the FlowC front-end: lexer, parser, leaders, compiler, linker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.divisors import DIVISORS_SOURCE
+from repro.flowc.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Declaration,
+    Identifier,
+    If,
+    IntLiteral,
+    ReadData,
+    SelectExpr,
+    Switch,
+    While,
+    WriteData,
+    ports_referenced,
+)
+from repro.flowc.compiler import (
+    CompilationError,
+    SelectCondition,
+    compile_process,
+    constant_trip_count,
+    evaluate_constant,
+)
+from repro.flowc.leaders import (
+    compute_leaders,
+    contains_port_statement,
+    is_port_statement,
+    leader_statements,
+    split_into_portions,
+)
+from repro.flowc.lexer import FlowCLexError, tokenize
+from repro.flowc.linker import LinkError, link
+from repro.flowc.netlist import Network, NetworkError
+from repro.flowc.parser import (
+    FlowCParseError,
+    parse_expression,
+    parse_process,
+    parse_program,
+    parse_statements,
+)
+from repro.petrinet.analysis import is_unique_choice_net
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+
+def test_tokenize_basic_stream():
+    tokens = tokenize("int x = 10; // comment\nx += 2;")
+    kinds = [t.kind for t in tokens]
+    values = [t.value for t in tokens]
+    assert "keyword" in kinds and "ident" in kinds and "int" in kinds
+    assert "+=" in values
+    assert tokens[-1].kind == "eof"
+
+
+def test_tokenize_floats_strings_chars_comments():
+    tokens = tokenize('float f = 1.5e2; char c = \'A\'; /* block\ncomment */ "text"')
+    values = {t.value for t in tokens}
+    assert "1.5e2" in values
+    assert str(ord("A")) in values
+    assert "text" in values
+
+
+def test_tokenize_errors():
+    with pytest.raises(FlowCLexError):
+        tokenize("int x = @;")
+    with pytest.raises(FlowCLexError):
+        tokenize('"unterminated')
+    with pytest.raises(FlowCLexError):
+        tokenize("/* never closed")
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def test_parse_divisors_process():
+    process = parse_process(DIVISORS_SOURCE)
+    assert process.name == "divisors"
+    assert [p.name for p in process.ports] == ["in", "max", "all"]
+    assert process.port("in").is_input and process.port("max").is_output
+    assert isinstance(process.body[0], Declaration)
+    assert isinstance(process.body[1], While)
+    assert ports_referenced(process.body) == ["in", "max", "all", "all"]
+
+
+def test_parse_expression_precedence():
+    expr = parse_expression("1 + 2 * 3 == 7")
+    assert isinstance(expr, BinaryOp) and expr.op == "=="
+    left = expr.left
+    assert isinstance(left, BinaryOp) and left.op == "+"
+    assert isinstance(left.right, BinaryOp) and left.right.op == "*"
+
+
+def test_parse_statements_and_assignment():
+    statements = parse_statements("x = y % 2; if (x) y++; else y--;")
+    assert len(statements) == 2
+    assert isinstance(statements[1], If)
+
+
+def test_parse_select_switch():
+    source = """
+    PROCESS p (In DPORT a, In DPORT b, Out DPORT o) {
+        int v;
+        while (1) {
+            switch (SELECT(a, 1, b, 2)) {
+                case 0: READ_DATA(a, &v, 1); break;
+                case 1: READ_DATA(b, &v, 2); break;
+            }
+            WRITE_DATA(o, v, 1);
+        }
+    }
+    """
+    process = parse_process(source)
+    loop = process.body[1]
+    assert isinstance(loop, While)
+    switch = loop.body[0]
+    assert isinstance(switch, Switch) and switch.is_select
+    assert isinstance(switch.subject, SelectExpr)
+    assert [port for port, _ in switch.subject.entries] == ["a", "b"]
+
+
+def test_parse_errors():
+    with pytest.raises(FlowCParseError):
+        parse_process("PROCESS broken (In DPORT x) { while ( }")
+    with pytest.raises(FlowCParseError):
+        parse_process("int not_a_process;")
+    with pytest.raises(FlowCParseError):
+        parse_process("PROCESS a () { } PROCESS b () { }")  # exactly one expected
+
+
+def test_parse_program_multiple_processes():
+    processes = parse_program(
+        "PROCESS a (Out DPORT o) { WRITE_DATA(o, 1, 1); } PROCESS b (In DPORT i) { int x; READ_DATA(i, &x, 1); }"
+    )
+    assert [p.name for p in processes] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# leaders
+# ---------------------------------------------------------------------------
+
+
+def test_leader_rules_on_figure_1():
+    process = parse_process(DIVISORS_SOURCE)
+    loop = process.body[1]
+    assert isinstance(loop, While)
+    body = loop.body
+    leaders = compute_leaders(body)
+    read_stmt = body[0]
+    write_max = body[3]
+    write_all_first = body[4]
+    inner_while = body[5]
+    assert isinstance(read_stmt, ReadData)
+    assert isinstance(write_max, WriteData)
+    assert isinstance(write_all_first, WriteData)
+    assert isinstance(inner_while, While)
+    # line 4: READ_DATA is a leader (rules 2 and 4)
+    assert id(read_stmt) in leaders
+    # line 9: the statement after WRITE_DATA(max, ...) is a leader (rule 3)
+    assert id(write_all_first) in leaders
+    # line 11: the first statement of the port-containing while is a leader (rule 4)
+    assert id(inner_while.body[0]) in leaders
+    # line 13: the WRITE inside the if is a leader (rule 4 applied to the if)
+    inner_if = inner_while.body[1]
+    assert isinstance(inner_if, If)
+    assert id(inner_if.then_body[0]) in leaders
+    # WRITE_DATA(max, ...) itself is not a leader
+    assert id(write_max) not in leaders
+
+
+def test_contains_and_is_port_statement():
+    process = parse_process(DIVISORS_SOURCE)
+    loop = process.body[1]
+    assert contains_port_statement(loop)
+    assert not contains_port_statement(process.body[0])
+    assert is_port_statement(loop.body[0])
+    assert not is_port_statement(loop.body[1])
+
+
+def test_split_into_portions():
+    statements = parse_statements(
+        "READ_DATA(p, &x, 1); x = x + 1; WRITE_DATA(q, x, 1); WRITE_DATA(q, x, 1); y = 0;"
+    )
+    portions = split_into_portions(statements)
+    assert len(portions) == 3
+    assert isinstance(portions[0][0], ReadData)
+    assert isinstance(portions[1][0], WriteData)
+
+
+def test_leader_statements_in_order():
+    process = parse_process(DIVISORS_SOURCE)
+    loop = process.body[1]
+    leaders = leader_statements(loop.body)
+    assert len(leaders) >= 4
+
+
+# ---------------------------------------------------------------------------
+# compiler
+# ---------------------------------------------------------------------------
+
+
+def test_compile_divisors_matches_figure_3():
+    process = parse_process(DIVISORS_SOURCE)
+    compiled = compile_process(process)
+    net = compiled.net
+    # exactly one control place marked initially (the program counter)
+    assert sum(net.initial_tokens.values()) == 1
+    # three dangling port places
+    assert sorted(compiled.port_places) == ["all", "in", "max"]
+    # the first transition reads `in` and writes `max` in one segment
+    read_transitions = [t for t in net.transitions if net.weight_pt(compiled.port_places["in"], t)]
+    assert len(read_transitions) == 1
+    t0 = read_transitions[0]
+    assert net.weight_tp(t0, compiled.port_places["max"]) == 1
+    # two transitions write to `all` (line 9 and line 13)
+    all_writers = [t for t in net.transitions if net.weight_tp(t, compiled.port_places["all"])]
+    assert len(all_writers) == 2
+    # choice places carry the loop / if conditions
+    conditions = [str(p.condition) for p in net.places.values() if p.condition is not None]
+    assert any("i > 1" in c or "(i > 1)" in c for c in conditions)
+    assert any("% i" in c for c in conditions)
+    # the per-process net is unique choice (Section 3.1)
+    assert is_unique_choice_net(net)
+    # declarations were hoisted out of the cyclic net
+    assert compiled.declarations and isinstance(compiled.declarations[0], Declaration)
+
+
+def test_compile_initialisation_statements_are_hoisted():
+    source = """
+    PROCESS p (In DPORT i, Out DPORT o) {
+        int x, acc;
+        acc = 0;
+        while (1) {
+            READ_DATA(i, &x, 1);
+            acc = acc + x;
+            WRITE_DATA(o, acc, 1);
+        }
+    }
+    """
+    compiled = compile_process(parse_process(source))
+    assert len(compiled.declarations) == 2  # the declaration and `acc = 0;`
+    # the cyclic net returns to its initial marking after one iteration once a
+    # token is supplied on the input port (no one-shot initialisation remains)
+    net = compiled.net
+    m = net.initial_marking.add({compiled.port_places["i"]: 1})
+    fired = []
+    for _ in range(10):
+        enabled = [t for t in net.enabled_transitions(m) if net.pre[t]]
+        if not enabled:
+            break
+        m = net.fire(enabled[0], m)
+        fired.append(enabled[0])
+    assert fired
+    assert m.restrict([compiled.initial_place]) == {compiled.initial_place: 1}
+
+
+def test_compile_multirate_weights():
+    source = """
+    PROCESS p (In DPORT i, Out DPORT o) {
+        int line[8];
+        while (1) {
+            READ_DATA(i, line, 8);
+            WRITE_DATA(o, line, 8);
+        }
+    }
+    """
+    compiled = compile_process(parse_process(source))
+    net = compiled.net
+    transition = [t for t in net.transitions if net.pre[t].get(compiled.port_places["i"])][0]
+    assert net.weight_pt(compiled.port_places["i"], transition) == 8
+    assert net.weight_tp(transition, compiled.port_places["o"]) == 8
+
+
+def test_compile_rejects_non_constant_rate():
+    source = """
+    PROCESS p (In DPORT i) {
+        int n, buf[4];
+        while (1) {
+            READ_DATA(i, &n, 1);
+            READ_DATA(i, buf, n);
+        }
+    }
+    """
+    with pytest.raises(CompilationError):
+        compile_process(parse_process(source))
+
+
+def test_compile_rejects_undeclared_port():
+    source = "PROCESS p (In DPORT i) { int x; while (1) { READ_DATA(other, &x, 1); } }"
+    with pytest.raises(CompilationError):
+        compile_process(parse_process(source))
+
+
+def test_constant_trip_count_and_unrolling():
+    statements = parse_statements("for (i = 0; i < 5; i++) WRITE_DATA(o, i, 1);")
+    assert constant_trip_count(statements[0]) == 5
+    statements = parse_statements("for (i = 10; i > 0; i -= 2) WRITE_DATA(o, i, 1);")
+    assert constant_trip_count(statements[0]) == 5
+    statements = parse_statements("for (i = 0; i < n; i++) WRITE_DATA(o, i, 1);")
+    assert constant_trip_count(statements[0]) is None
+
+    source = """
+    PROCESS p (Out DPORT o) {
+        int i;
+        while (1) {
+            for (i = 0; i < 3; i++)
+                WRITE_DATA(o, i, 1);
+        }
+    }
+    """
+    unrolled = compile_process(parse_process(source))
+    rolled = compile_process(parse_process(source), max_unroll=0)
+    writers_unrolled = [
+        t for t in unrolled.net.transitions if unrolled.net.weight_tp(t, unrolled.port_places["o"])
+    ]
+    writers_rolled = [
+        t for t in rolled.net.transitions if rolled.net.weight_tp(t, rolled.port_places["o"])
+    ]
+    assert len(writers_unrolled) == 3
+    assert len(writers_rolled) == 1
+    # without unrolling the loop becomes a data-dependent choice place
+    assert any(p.condition is not None for p in rolled.net.places.values())
+
+
+def test_compile_select_switch_breaks_unique_choice():
+    source = """
+    PROCESS p (In DPORT a, In DPORT b, Out DPORT o) {
+        int v;
+        while (1) {
+            switch (SELECT(a, 1, b, 1)) {
+                case 0: READ_DATA(a, &v, 1); break;
+                case 1: READ_DATA(b, &v, 1); break;
+            }
+            WRITE_DATA(o, v, 1);
+        }
+    }
+    """
+    compiled = compile_process(parse_process(source))
+    net = compiled.net
+    select_places = [p for p in net.places.values() if isinstance(p.condition, SelectCondition)]
+    assert len(select_places) == 1
+    # the SELECT branches have different presets, so the net is not unique choice
+    assert not is_unique_choice_net(net)
+
+
+def test_evaluate_constant():
+    assert evaluate_constant(parse_expression("3 * 4 + 1")) == 13
+    assert evaluate_constant(parse_expression("-(2)")) == -2
+    assert evaluate_constant(parse_expression("x + 1")) is None
+
+
+# ---------------------------------------------------------------------------
+# netlist and linker
+# ---------------------------------------------------------------------------
+
+
+def _two_process_network() -> Network:
+    source = """
+    PROCESS prod (In DPORT trig, Out DPORT out) {
+        int t;
+        while (1) {
+            READ_DATA(trig, &t, 1);
+            WRITE_DATA(out, t, 1);
+        }
+    }
+    PROCESS cons (In DPORT inp, Out DPORT res) {
+        int v;
+        while (1) {
+            READ_DATA(inp, &v, 1);
+            WRITE_DATA(res, v + 1, 1);
+        }
+    }
+    """
+    network = Network(name="pair")
+    network.add_processes_from_source(source)
+    network.connect("prod", "out", "cons", "inp", name="link", bound=4)
+    network.declare_input("prod", "trig", controllable=False)
+    network.declare_output("cons", "res")
+    return network
+
+
+def test_network_validation_and_errors():
+    network = _two_process_network()
+    network.validate()
+    with pytest.raises(NetworkError):
+        network.connect("prod", "out", "cons", "inp")  # already connected
+    with pytest.raises(NetworkError):
+        network.connect("prod", "trig", "cons", "inp")  # trig is not an output
+    incomplete = Network()
+    incomplete.add_processes_from_source(
+        "PROCESS lonely (In DPORT x) { int v; while (1) { READ_DATA(x, &v, 1); } }"
+    )
+    with pytest.raises(NetworkError):
+        incomplete.validate()
+
+
+def test_link_merges_channel_places():
+    network = _two_process_network()
+    system = link(network)
+    net = system.net
+    channel_place = system.channel_places["link"]
+    assert net.places[channel_place].is_port
+    assert net.places[channel_place].bound == 4
+    # the producer writes and the consumer reads the same merged place
+    writers = net.predecessors_of_place(channel_place)
+    readers = net.successors_of_place(channel_place)
+    assert any(t.startswith("prod.") for t in writers)
+    assert any(t.startswith("cons.") for t in readers)
+    # environment ports got source / sink transitions
+    assert "src.prod.trig" in net.transitions
+    assert "sink.cons.res" in net.transitions
+    assert net.transitions["src.prod.trig"].is_uncontrollable_source
+    assert system.uncontrollable_source_transitions == ["src.prod.trig"]
+    assert system.channel_of_place(channel_place) == "link"
+
+
+def test_link_describe_and_port_mapping():
+    network = _two_process_network()
+    description = network.describe()
+    assert "channel" in description and "uncontrollable" in description
+    system = link(network)
+    assert system.port_place_of[("prod", "out")] == system.port_place_of[("cons", "inp")]

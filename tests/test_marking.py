@@ -1,0 +1,83 @@
+"""Unit and property tests for markings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.petrinet.marking import Marking
+
+
+def test_empty_marking_behaviour():
+    m = Marking()
+    assert len(m) == 0
+    assert m["anything"] == 0
+    assert m.total_tokens() == 0
+    assert m.pretty() == "<empty>"
+
+
+def test_zero_entries_are_dropped():
+    assert Marking({"a": 0, "b": 2}) == Marking({"b": 2})
+    assert "a" not in Marking({"a": 0})
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        Marking({"a": -1})
+
+
+def test_equality_and_hash():
+    m1 = Marking({"a": 1, "b": 2})
+    m2 = Marking([("b", 2), ("a", 1)])
+    assert m1 == m2
+    assert hash(m1) == hash(m2)
+    assert m1 == {"a": 1, "b": 2}
+    assert m1 != Marking({"a": 1})
+
+
+def test_add_and_covers():
+    m = Marking({"a": 1})
+    m2 = m.add({"a": 2, "b": 1})
+    assert m2 == Marking({"a": 3, "b": 1})
+    assert m2.covers(m)
+    assert not m.covers(m2)
+    with pytest.raises(ValueError):
+        m.add({"a": -5})
+
+
+def test_restrict_and_pretty():
+    m = Marking({"a": 1, "b": 3})
+    assert m.restrict(["b", "c"]) == Marking({"b": 3})
+    assert m.pretty() == "a b^3"
+
+
+def test_items_with_zero_lists_all_requested_places():
+    m = Marking({"a": 2})
+    assert dict(m.items_with_zero(["a", "b"])) == {"a": 2, "b": 0}
+
+
+names = st.sampled_from(["p0", "p1", "p2", "p3", "p4"])
+markings = st.dictionaries(names, st.integers(min_value=0, max_value=6), max_size=5)
+
+
+@given(markings)
+def test_marking_roundtrip_property(data):
+    m = Marking(data)
+    for place, count in data.items():
+        assert m[place] == count
+    assert m.total_tokens() == sum(data.values())
+
+
+@given(markings, markings)
+def test_add_is_componentwise(a, b):
+    result = Marking(a).add(b)
+    for place in set(a) | set(b):
+        assert result[place] == a.get(place, 0) + b.get(place, 0)
+
+
+@given(markings, markings)
+def test_covers_is_a_partial_order(a, b):
+    ma, mb = Marking(a), Marking(b)
+    if ma.covers(mb) and mb.covers(ma):
+        assert ma == mb
+    assert ma.covers(ma)

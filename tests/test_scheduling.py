@@ -1,0 +1,369 @@
+"""Tests for schedules, termination conditions, the EP algorithm,
+independence and runs, on the paper's figure nets and the FlowC systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import paper_nets
+from repro.apps.false_paths import (
+    build_false_path_network,
+    build_select_rewrite_network,
+    link_with_unrolling,
+    link_without_unrolling,
+)
+from repro.petrinet.analysis import StructuralAnalysis
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import PetriNet, SourceKind
+from repro.scheduling.ep import SchedulerOptions, SchedulingFailure, find_all_schedules, find_schedule
+from repro.scheduling.heuristics import (
+    ECSLookahead,
+    HeuristicContext,
+    InvariantGuidedOrdering,
+    NaiveOrdering,
+    TieBreakOrdering,
+    make_heuristic,
+)
+from repro.scheduling.independence import (
+    are_mutually_independent,
+    channel_size_report,
+    combined_place_bounds,
+    independence_report,
+    is_independent_set,
+)
+from repro.scheduling.runs import RunError, build_run, check_executability, random_choice_resolver
+from repro.scheduling.schedule import Schedule, ScheduleValidationError
+from repro.scheduling.termination import (
+    CompositeCondition,
+    IrrelevanceCriterion,
+    MaxDepthCondition,
+    NodeBudget,
+    PlaceBoundCondition,
+    UserBoundCondition,
+    default_termination,
+)
+
+
+# ---------------------------------------------------------------------------
+# Schedule structure and validation
+# ---------------------------------------------------------------------------
+
+
+def test_hand_built_schedule_for_figure_5_validates():
+    net = paper_nets.figure_5()
+    schedule = Schedule(net=net, source_transition="a")
+    n0 = schedule.add_node(net.initial_marking)
+    n1 = schedule.add_node(net.fire("a", net.initial_marking))
+    m2 = net.fire("b", n1.marking)
+    n2 = schedule.add_node(m2)
+    schedule.add_edge(n0.index, "a", n1.index)
+    schedule.add_edge(n1.index, "b", n2.index)
+    schedule.add_edge(n2.index, "c", n0.index)
+    schedule.validate()
+    assert schedule.is_single_source()
+    assert [node.index for node in schedule.await_nodes()] == [0]
+    assert schedule.place_bounds()["p1"] == 1
+    assert schedule.involved_transitions() == {"a", "b", "c"}
+
+
+def test_schedule_validation_rejects_bad_graphs():
+    net = paper_nets.figure_5()
+    schedule = Schedule(net=net, source_transition="a")
+    n0 = schedule.add_node(net.initial_marking)
+    n1 = schedule.add_node(net.fire("a", net.initial_marking))
+    schedule.add_edge(n0.index, "a", n1.index)
+    # n1 has no outgoing edge: property 5 violated
+    with pytest.raises(ScheduleValidationError):
+        schedule.validate()
+    # wrong marking on an edge target
+    bad = Schedule(net=net, source_transition="a")
+    b0 = bad.add_node(net.initial_marking)
+    b1 = bad.add_node(net.initial_marking)  # should be the post-a marking
+    bad.add_edge(b0.index, "a", b1.index)
+    bad.add_edge(b1.index, "b", b0.index)
+    with pytest.raises(ScheduleValidationError):
+        bad.validate()
+
+
+def test_schedule_root_requirements():
+    net = paper_nets.figure_5()
+    schedule = Schedule(net=net, source_transition="a")
+    n0 = schedule.add_node(net.fire("a", net.initial_marking))  # wrong root marking
+    n1 = schedule.add_node(net.initial_marking)
+    schedule.add_edge(n0.index, "b", n1.index)
+    schedule.add_edge(n1.index, "a", n0.index)
+    with pytest.raises(ScheduleValidationError):
+        schedule.validate()
+
+
+# ---------------------------------------------------------------------------
+# Termination conditions
+# ---------------------------------------------------------------------------
+
+
+class _FakeTree:
+    """Minimal SchedulingTreeView over a single path of markings."""
+
+    def __init__(self, markings):
+        self.markings = markings
+
+    def marking_of(self, node):
+        return self.markings[node]
+
+    def ancestors_of(self, node):
+        return list(range(node - 1, -1, -1))
+
+    def total_tokens_of(self, node):
+        return self.markings[node].total_tokens()
+
+
+def test_irrelevance_criterion_detects_saturated_growth():
+    net = paper_nets.figure_4a()  # degree of p1 is 2+2-1 = 3
+    criterion = IrrelevanceCriterion.for_net(net)
+    tree = _FakeTree([Marking({"p1": 3}), Marking({"p1": 5})])
+    assert criterion.holds(tree, 1)
+    # growth from a non-saturated ancestor is not irrelevant
+    tree2 = _FakeTree([Marking({"p1": 1}), Marking({"p1": 2})])
+    assert not criterion.holds(tree2, 1)
+    # equal markings are never classified irrelevant
+    tree3 = _FakeTree([Marking({"p1": 3}), Marking({"p1": 3})])
+    assert not criterion.holds(tree3, 1)
+
+
+def test_place_bound_and_user_bound_conditions():
+    net = paper_nets.figure_4a()
+    bound = PlaceBoundCondition.uniform(net, 2)
+    tree = _FakeTree([Marking({"p1": 1}), Marking({"p1": 3})])
+    assert not bound.holds(tree, 0)
+    assert bound.holds(tree, 1)
+
+    bounded_net = PetriNet()
+    bounded_net.add_place("ch", bound=1, is_port=True)
+    bounded_net.add_transition("t")
+    bounded_net.add_arc("t", "ch")
+    user = UserBoundCondition.for_net(bounded_net)
+    tree = _FakeTree([Marking({"ch": 1}), Marking({"ch": 2})])
+    assert not user.holds(tree, 0)
+    assert user.holds(tree, 1)
+
+
+def test_composite_node_budget_and_depth_conditions():
+    net = paper_nets.figure_4a()
+    composite = default_termination(net, max_nodes=5)
+    assert "irrelevance" in composite.describe()
+    tree = _FakeTree([Marking({"p1": i}) for i in range(10)])
+    assert NodeBudget(max_nodes=3).holds(tree, 3)
+    assert not NodeBudget(max_nodes=3).holds(tree, 2)
+    assert MaxDepthCondition(max_depth=2).holds(tree, 4)
+
+
+# ---------------------------------------------------------------------------
+# The EP algorithm on the paper's nets
+# ---------------------------------------------------------------------------
+
+
+def test_figure_4a_has_ss_schedules_for_both_sources():
+    net = paper_nets.figure_4a()
+    results = find_all_schedules(net)
+    assert set(results) == {"a", "b"}
+    for result in results.values():
+        assert result.success
+        result.schedule.validate()
+        assert result.schedule.is_single_source()
+
+
+def test_figure_4b_has_no_single_source_schedules():
+    net = paper_nets.figure_4b()
+    for source in ("a", "b"):
+        result = find_schedule(net, source, options=SchedulerOptions(max_nodes=500))
+        assert not result.success
+    with pytest.raises(SchedulingFailure):
+        find_schedule(net, "a", options=SchedulerOptions(max_nodes=500), raise_on_failure=True)
+
+
+def test_figure_5_schedules_are_independent_and_executable():
+    net = paper_nets.figure_5()
+    results = find_all_schedules(net, raise_on_failure=True)
+    schedules = {source: result.schedule for source, result in results.items()}
+    assert is_independent_set(list(schedules.values()))
+    assert are_mutually_independent(schedules["a"], schedules["d"])
+    run = build_run(schedules, ["a", "d", "a", "a", "d"])
+    assert run.final_marking == net.initial_marking
+    assert check_executability(schedules, [["a", "d", "d", "a"], ["d", "a"]])
+
+
+def test_figure_6_schedules_interfere():
+    net = paper_nets.figure_6()
+    results = find_all_schedules(net, raise_on_failure=True)
+    schedules = {source: result.schedule for source, result in results.items()}
+    for schedule in schedules.values():
+        assert len(schedule.await_nodes()) == 2
+    assert not is_independent_set(list(schedules.values()))
+    violations = independence_report(list(schedules.values()))
+    assert violations and violations[0].place in {"p0", "p2", "p4"}
+    # the interleaving a d is not executable (the paper's example)
+    with pytest.raises(RunError):
+        build_run(schedules, ["a", "d", "a", "d"])
+
+
+def test_figure_7_schedulable_with_irrelevance_but_not_small_bounds():
+    for k in (3, 4):
+        net = paper_nets.figure_7(k)
+        result = find_schedule(net, "a", raise_on_failure=True)
+        result.schedule.validate()
+        # a fires k*(k-1)... at least k times: many await nodes
+        assert len(result.schedule.await_nodes()) >= k
+        bounded = CompositeCondition(
+            conditions=[PlaceBoundCondition.uniform(net, 2), NodeBudget(max_nodes=2000)]
+        )
+        failed = find_schedule(net, "a", options=SchedulerOptions(termination=bounded))
+        assert not failed.success
+
+
+def test_figure_8_schedule_matches_paper_walkthrough():
+    net = paper_nets.figure_8()
+    result = find_schedule(net, "a", raise_on_failure=True)
+    schedule = result.schedule
+    schedule.validate()
+    # Figure 10(d): seven nodes, two await nodes, involves every transition
+    assert len(schedule) == 7
+    assert len(schedule.await_nodes()) == 2
+    assert schedule.involved_transitions() == {"a", "b", "c", "d", "e"}
+    assert schedule.place_bounds()["p3"] == 2
+
+
+def test_single_source_constraint_excludes_other_uncontrollables():
+    net = paper_nets.figure_5()
+    result = find_schedule(net, "a", raise_on_failure=True)
+    assert "d" not in result.schedule.involved_transitions()
+    relaxed = find_schedule(
+        net, "a", options=SchedulerOptions(single_source=False), raise_on_failure=True
+    )
+    assert relaxed.success
+
+
+def test_invariant_precheck_reports_unschedulable():
+    net = PetriNet()
+    net.add_place("p")
+    net.add_transition("a", source_kind=SourceKind.UNCONTROLLABLE)
+    net.add_arc("a", "p")  # tokens can never leave p: no invariant fires a
+    result = find_schedule(net, "a")
+    assert not result.success
+    assert "T-invariant" in (result.failure_reason or "")
+
+
+def test_find_schedule_unknown_transition():
+    net = paper_nets.figure_5()
+    with pytest.raises(KeyError):
+        find_schedule(net, "nope")
+
+
+def test_schedule_channel_bounds_on_flowc_system(divisors_system, divisors_schedule):
+    schedule = divisors_schedule
+    schedule.validate()
+    assert schedule.is_single_source()
+    assert len(schedule.await_nodes()) == 1
+    bounds = schedule.channel_bounds()
+    # every environment port place stays at one token (unit-size channels)
+    assert all(bound <= 1 for bound in bounds.values())
+    report = channel_size_report([schedule])
+    assert set(report) == set(bounds)
+    combined = combined_place_bounds([schedule])
+    assert combined[divisors_system.port_place_of[("divisors", "in")]] <= 1
+
+
+def test_false_path_example_unrolled_vs_conservative():
+    unrolled = link_with_unrolling(build_false_path_network())
+    result = find_schedule(unrolled.net, "src.prodA.start", raise_on_failure=True)
+    assert result.schedule is not None
+    assert result.schedule.channel_bounds()[unrolled.channel_places["c0"]] <= 1
+
+    conservative = link_without_unrolling(build_false_path_network())
+    failed = find_schedule(
+        conservative.net, "src.prodA.start", options=SchedulerOptions(max_nodes=800)
+    )
+    assert not failed.success
+
+
+def test_select_rewrite_compiles_and_is_not_unique_choice():
+    from repro.flowc.linker import link
+    from repro.petrinet.analysis import is_unique_choice_net
+
+    system = link(build_select_rewrite_network())
+    assert not is_unique_choice_net(system.net)
+    assert "src.prodA.start" in system.net.uncontrollable_sources()
+
+
+# ---------------------------------------------------------------------------
+# Heuristics
+# ---------------------------------------------------------------------------
+
+
+def test_heuristic_orderings_agree_on_membership():
+    net = paper_nets.figure_8()
+    analysis = StructuralAnalysis.of(net)
+    marking = net.fire("a", net.initial_marking)
+    ecss = analysis.enabled_ecss(marking)
+    context = HeuristicContext(marking=marking, path_firings={"a": 1}, depth=1)
+    for heuristic in (
+        NaiveOrdering(),
+        TieBreakOrdering(analysis),
+        make_heuristic(net, analysis, "a"),
+    ):
+        ordered = heuristic.order(ecss, context)
+        assert sorted(map(sorted, ordered)) == sorted(map(sorted, ecss))
+
+
+def test_tie_break_puts_sources_last():
+    net = paper_nets.figure_8()
+    analysis = StructuralAnalysis.of(net)
+    marking = net.fire("a", net.initial_marking)
+    ecss = analysis.enabled_ecss(marking)
+    ordered = TieBreakOrdering(analysis).order(
+        ecss, HeuristicContext(marking=marking, path_firings={}, depth=1)
+    )
+    assert ordered[-1] == frozenset({"a"})
+
+
+def test_invariant_guided_ordering_prefers_promising_transitions():
+    net = paper_nets.figure_8()
+    analysis = StructuralAnalysis.of(net)
+    heuristic = InvariantGuidedOrdering(net, analysis, "a")
+    assert heuristic.source_is_coverable()
+    vector = heuristic.promising_vector({})
+    assert vector.get("a", 0) >= 1
+    after_cycle = heuristic.promising_vector({"a": 1, "b": 1, "d": 1})
+    assert after_cycle  # guidance never collapses to nothing
+
+
+def test_scheduler_without_invariant_heuristic_still_works():
+    net = paper_nets.figure_8()
+    result = find_schedule(
+        net, "a", options=SchedulerOptions(use_invariant_heuristic=False), raise_on_failure=True
+    )
+    assert result.schedule is not None
+    result.schedule.validate()
+
+
+# ---------------------------------------------------------------------------
+# Runs
+# ---------------------------------------------------------------------------
+
+
+def test_build_run_tracks_positions_and_choices(divisors_system, divisors_schedule):
+    schedules = {"src.divisors.in": divisors_schedule}
+    run = build_run(schedules, ["src.divisors.in"] * 3, resolver=random_choice_resolver(1))
+    assert len(run) == 3
+    sequence = run.transition_sequence()
+    assert sequence.count("src.divisors.in") == 3
+    assert run.final_marking is not None
+
+
+def test_build_run_errors():
+    net = paper_nets.figure_5()
+    results = find_all_schedules(net, raise_on_failure=True)
+    schedules = {s: r.schedule for s, r in results.items()}
+    with pytest.raises(RunError):
+        build_run(schedules, ["unknown"])
+    with pytest.raises(RunError):
+        build_run({}, ["a"])

@@ -26,6 +26,7 @@ def test_pfc_scheduling_time(benchmark, capsys):
             f"{stats.await_nodes} await node(s), tree={stats.tree_nodes}, "
             f"{stats.seconds:.2f}s, channel bounds={stats.channel_bounds}"
         )
+        print(f"  search counters: {stats.describe_counters()}")
         print("  [paper: a single task, all channels of unit size, in less than a minute]")
     assert stats.success
     assert stats.await_nodes == 1

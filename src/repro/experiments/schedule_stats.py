@@ -31,6 +31,8 @@ class ScheduleStats:
     tree_nodes: int = 0
     channel_bounds: Dict[str, int] = field(default_factory=dict)
     tasks_generated: int = 0
+    # search counters of the indexed core (fires, enabled scans/updates, ...)
+    search_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def all_control_channels_unit_size(self) -> bool:
@@ -41,6 +43,12 @@ class ScheduleStats:
             if bound and "pix" not in name.lower()
         }
         return bool(control) and all(bound == 1 for bound in control.values())
+
+    def describe_counters(self) -> str:
+        """One-line rendering of the search counters for profiling logs."""
+        if not self.search_counters:
+            return "no counters recorded"
+        return ", ".join(f"{key}={value}" for key, value in self.search_counters.items())
 
 
 def run_schedule_stats(
@@ -58,7 +66,13 @@ def run_schedule_stats(
     result = find_schedule(system.net, "src.controller.init", options=options)
     elapsed = time.monotonic() - start
     if not result.success or result.schedule is None:
-        return ScheduleStats(config=config, success=False, seconds=elapsed, tree_nodes=result.tree_nodes)
+        return ScheduleStats(
+            config=config,
+            success=False,
+            seconds=elapsed,
+            tree_nodes=result.tree_nodes,
+            search_counters=result.counters.as_dict(),
+        )
     schedule = result.schedule
     bounds: Dict[str, int] = {}
     for place, bound in schedule.channel_bounds().items():
@@ -76,4 +90,29 @@ def run_schedule_stats(
         tree_nodes=result.tree_nodes,
         channel_bounds=bounds,
         tasks_generated=len(system.net.uncontrollable_sources()),
+        search_counters=result.counters.as_dict(),
     )
+
+
+def main() -> None:
+    """Print scheduling statistics (with search counters) for the PFC system.
+
+    ``PYTHONPATH=src python -m repro.experiments.schedule_stats`` is the
+    quick profiling entry point: run it before and after a change to the
+    Petri-net core to catch regressions in fires / enabled-set work per
+    schedule.
+    """
+    for config in (VideoAppConfig(4, 5), VideoAppConfig(10, 10)):
+        stats = run_schedule_stats(config)
+        geometry = f"{config.lines_per_frame}x{config.pixels_per_line}"
+        print(
+            f"PFC {geometry}: success={stats.success} {stats.seconds:.3f}s "
+            f"schedule={stats.schedule_nodes} await={stats.await_nodes} "
+            f"tree={stats.tree_nodes}"
+        )
+        print(f"  counters: {stats.describe_counters()}")
+        print(f"  channel bounds: {stats.channel_bounds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -594,6 +594,7 @@ class _ProcessCompiler:
 
     def _remove_dangling_places(self) -> None:
         """Drop unmarked internal places with no arcs (unreachable exits)."""
+        removed = False
         for place in list(self.net.places):
             obj = self.net.places[place]
             if obj.is_port or place == self.initial_place:
@@ -602,7 +603,12 @@ class _ProcessCompiler:
                 continue
             if self.net.preset_of_place(place) or self.net.postset_of_place(place):
                 continue
+            # a dangling place has no arcs, so removing it cannot change any
+            # other place's adjacency; one invalidation after the loop suffices
             del self.net.places[place]
+            removed = True
+        if removed:
+            self.net.invalidate_caches()
 
     def _merge_transitions(self, t1: str, place: str, t2: str) -> None:
         trans1 = self.net.transitions[t1]
@@ -641,6 +647,7 @@ class _ProcessCompiler:
         del self.net.post[t2]
         del self.net.places[place]
         self.net.initial_tokens.pop(place, None)
+        self.net.invalidate_caches()
 
 
 def _strip_trailing_break(body: Sequence[Statement]) -> Tuple[Statement, ...]:

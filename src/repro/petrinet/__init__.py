@@ -12,8 +12,12 @@ The paper models the linked network of FlowC processes as a single Petri net
   T-invariant basis (Farkas algorithm).
 * :mod:`repro.petrinet.covering` -- heuristic binate covering solver used by
   the candidate-invariant selection of Section 5.5.2.
+* :mod:`repro.petrinet.indexed` -- the integer-dense core the hot paths run
+  on: dense place/transition IDs, tuple markings, precomputed firing deltas
+  and incremental enabled-set maintenance (see ``docs/architecture.md``).
 """
 
+from repro.petrinet.indexed import IndexedNet, MarkingStore
 from repro.petrinet.marking import Marking
 from repro.petrinet.net import (
     ArcError,
@@ -45,7 +49,9 @@ __all__ = [
     "ArcError",
     "BinateCoveringProblem",
     "ChoiceKind",
+    "IndexedNet",
     "Marking",
+    "MarkingStore",
     "PetriNet",
     "PetriNetError",
     "Place",

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.petrinet.indexed import IndexedNet
 from repro.petrinet.marking import Marking
 from repro.petrinet.net import PetriNet
 
@@ -184,6 +185,10 @@ class StructuralAnalysis:
     degrees: Dict[str, int] = field(default_factory=dict)
     uncontrollable: FrozenSet[str] = frozenset()
     controllable: FrozenSet[str] = frozenset()
+    # -- indexed-core view: ECS IDs are indices into ``partition`` ----------
+    indexed_net: Optional[IndexedNet] = None
+    ecs_id_by_tid: Tuple[int, ...] = ()
+    source_ecs_ids: FrozenSet[int] = frozenset()
 
     @classmethod
     def of(cls, net: PetriNet) -> "StructuralAnalysis":
@@ -192,6 +197,14 @@ class StructuralAnalysis:
         for ecs in partition:
             for transition in ecs:
                 by_transition[transition] = ecs
+        indexed = net.indexed()
+        ecs_id_by_tid = [0] * len(indexed.transition_names)
+        source_ecs_ids = set()
+        for ecs_id, ecs in enumerate(partition):
+            for transition in ecs:
+                ecs_id_by_tid[indexed.transition_index[transition]] = ecs_id
+            if any(not net.pre[t] for t in ecs):
+                source_ecs_ids.add(ecs_id)
         return cls(
             net=net,
             partition=partition,
@@ -199,13 +212,28 @@ class StructuralAnalysis:
             degrees=all_place_degrees(net),
             uncontrollable=frozenset(net.uncontrollable_sources()),
             controllable=frozenset(net.controllable_sources()),
+            indexed_net=indexed,
+            ecs_id_by_tid=tuple(ecs_id_by_tid),
+            source_ecs_ids=frozenset(source_ecs_ids),
         )
 
     def ecs_of(self, transition: str) -> ECS:
         return self.ecs_by_transition[transition]
 
+    def enabled_ecs_ids(self, enabled_tids: Iterable[int]) -> List[int]:
+        """ECS IDs containing an enabled transition (ascending = partition order)."""
+        by_tid = self.ecs_id_by_tid
+        return sorted({by_tid[tid] for tid in enabled_tids})
+
     def enabled_ecss(self, marking: Marking) -> List[ECS]:
         """ECSs enabled at ``marking`` (deterministic order)."""
+        indexed = self.indexed_net
+        if indexed is not None and indexed is self.net._indexed:
+            vec = indexed.vec_of_marking(marking)
+            return [
+                self.partition[ecs_id]
+                for ecs_id in self.enabled_ecs_ids(indexed.enabled_vec(vec))
+            ]
         result = []
         for ecs in self.partition:
             representative = min(ecs)

@@ -84,45 +84,92 @@ def solve_binate_covering(
 
     After reaching feasibility, a greedy minimisation pass removes columns
     whose removal keeps the solution feasible (preferring heavier columns).
+
+    Internally the solver runs on dense integer bitmasks: columns get dense
+    IDs, each row collapses to a ``(ones, zeros)`` mask pair, the selection is
+    one integer, and "row satisfied" is two bitwise ANDs.
     """
-    selection: Set[str] = set(problem.columns) if initial is None else set(initial)
+    columns = list(problem.columns)
+    column_id = {column: i for i, column in enumerate(columns)}
+    ones_masks: List[int] = []
+    zeros_masks: List[int] = []
+    for row in problem.rows:
+        ones = 0
+        zeros = 0
+        for column, value in row.items():
+            if value == 1:
+                ones |= 1 << column_id[column]
+            elif value == 0:
+                zeros |= 1 << column_id[column]
+        ones_masks.append(ones)
+        zeros_masks.append(zeros)
+    n_rows = len(ones_masks)
+
+    def mask_of(names: Set[str]) -> int:
+        mask = 0
+        for name in names:
+            bit = column_id.get(name)
+            if bit is not None:
+                mask |= 1 << bit
+        return mask
+
+    def feasible(mask: int) -> bool:
+        for i in range(n_rows):
+            if not (mask & ones_masks[i]) and (mask & zeros_masks[i]):
+                return False
+        return True
+
+    selection = (1 << len(columns)) - 1 if initial is None else mask_of(set(initial))
 
     for _ in range(max_iterations):
-        violated = problem.violated_rows(selection)
+        violated = [
+            i
+            for i in range(n_rows)
+            if not (selection & ones_masks[i]) and (selection & zeros_masks[i])
+        ]
         if not violated:
             break
         # Move 1: try adding a column with a 1 in as many violated rows as possible.
         gain: Dict[str, int] = {}
-        for row in violated:
-            for column, value in row.items():
-                if value == 1 and column not in selection:
-                    gain[column] = gain.get(column, 0) + 1
+        for i in violated:
+            remaining = ones_masks[i] & ~selection
+            while remaining:
+                bit = remaining & -remaining
+                column = columns[bit.bit_length() - 1]
+                gain[column] = gain.get(column, 0) + 1
+                remaining ^= bit
         if gain:
             best = max(sorted(gain), key=lambda c: (gain[c], -problem.weight(c)))
-            selection.add(best)
+            selection |= 1 << column_id[best]
             continue
         # Move 2: remove an offending column (one with a 0 in a violated row).
         offenders: Dict[str, int] = {}
-        for row in violated:
-            for column, value in row.items():
-                if value == 0 and column in selection:
-                    offenders[column] = offenders.get(column, 0) + 1
+        for i in violated:
+            remaining = zeros_masks[i] & selection
+            while remaining:
+                bit = remaining & -remaining
+                column = columns[bit.bit_length() - 1]
+                offenders[column] = offenders.get(column, 0) + 1
+                remaining ^= bit
         if not offenders:
             return None
         worst = max(sorted(offenders), key=lambda c: (offenders[c], problem.weight(c)))
-        selection.discard(worst)
+        selection &= ~(1 << column_id[worst])
     else:
         return None
 
-    if not problem.is_feasible(selection):
+    if not feasible(selection):
         return None
 
     # Minimisation pass: drop columns that are not needed.
-    for column in sorted(selection, key=lambda c: -problem.weight(c)):
-        candidate = selection - {column}
-        if problem.is_feasible(candidate):
+    selected_names = [
+        column for column in columns if selection & (1 << column_id[column])
+    ]
+    for column in sorted(selected_names, key=lambda c: -problem.weight(c)):
+        candidate = selection & ~(1 << column_id[column])
+        if feasible(candidate):
             selection = candidate
-    return selection
+    return {column for column in columns if selection & (1 << column_id[column])}
 
 
 def build_candidate_invariant_problem(

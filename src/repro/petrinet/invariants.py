@@ -28,15 +28,13 @@ def incidence_matrix(net: PetriNet) -> Tuple[np.ndarray, List[str], List[str]]:
     Rows are indexed by places and columns by transitions, both in sorted name
     order so the matrix is reproducible.
     """
-    places = sorted(net.places)
-    transitions = sorted(net.transitions)
-    place_index = {p: i for i, p in enumerate(places)}
+    indexed = net.indexed()
+    places = list(indexed.place_names)
+    transitions = list(indexed.transition_names)
     matrix = np.zeros((len(places), len(transitions)), dtype=np.int64)
-    for j, transition in enumerate(transitions):
-        for place, weight in net.pre[transition].items():
-            matrix[place_index[place], j] -= weight
-        for place, weight in net.post[transition].items():
-            matrix[place_index[place], j] += weight
+    for tid, deltas in enumerate(indexed.delta):
+        for pid, delta in deltas:
+            matrix[pid, tid] = delta
     return matrix, places, transitions
 
 
@@ -53,28 +51,27 @@ def _normalise_row(row: np.ndarray) -> np.ndarray:
     return row
 
 
-def _support(row: np.ndarray) -> frozenset:
-    return frozenset(int(i) for i in np.nonzero(row)[0])
-
-
 def _drop_non_minimal(rows: List[np.ndarray], width: int) -> List[np.ndarray]:
-    """Remove rows whose invariant-part support strictly contains another's."""
-    supports = [_support(row[-width:]) for row in rows]
-    keep: List[np.ndarray] = []
-    for i, row in enumerate(rows):
-        minimal = True
-        for j, other in enumerate(rows):
-            if i == j:
-                continue
-            if supports[j] < supports[i]:
-                minimal = False
-                break
-            if supports[j] == supports[i] and j < i:
-                minimal = False
-                break
-        if minimal:
-            keep.append(row)
-    return keep
+    """Remove rows whose invariant-part support strictly contains another's.
+
+    This is the hot loop of the Farkas elimination, so the all-pairs subset
+    test runs as one dense boolean matrix product: ``support_j  support_i``
+    iff support_j hits no column outside support_i.
+    """
+    n = len(rows)
+    if n <= 1:
+        return list(rows)
+    supports = np.array([row[-width:] != 0 for row in rows])
+    # contained[j, i] True iff support_j is a subset of support_i; float32
+    # matmul routes through BLAS and is exact for these small counts
+    contained = (supports.astype(np.float32) @ (~supports).astype(np.float32).T) == 0
+    equal = contained & contained.T
+    strict = contained & ~contained.T
+    # drop row i when a strict subset exists, or an equal support came earlier
+    # (triu(k=1)[j, i] is True exactly for j < i)
+    earlier = np.triu(np.ones((n, n), dtype=bool), 1)
+    dominated = (strict | (equal & earlier)).any(axis=0)
+    return [row for row, drop in zip(rows, dominated) if not drop]
 
 
 def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, int]]:
@@ -87,7 +84,16 @@ def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, 
     ``max_rows`` caps the intermediate tableau to keep the elimination from
     exploding on pathological nets; when the cap is hit the result is still a
     set of valid invariants but may not contain every minimal one.
+
+    The basis is cached on the net's indexed snapshot, so repeated calls for
+    the same structural version (one per scheduled source transition) pay the
+    elimination only once.
     """
+    cache_key = ("t_invariant_basis", max_rows)
+    cache = net.indexed().analysis_cache
+    cached = cache.get(cache_key)
+    if cached is not None:
+        return [dict(invariant) for invariant in cached]
     matrix, _places, transitions = incidence_matrix(net)
     n_places, n_transitions = matrix.shape
     if n_transitions == 0:
@@ -133,6 +139,7 @@ def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, 
             {transitions[i]: int(v) for i, v in enumerate(invariant_part) if v != 0}
         )
     invariants.sort(key=lambda inv: (len(inv), sorted(inv.items())))
+    cache[cache_key] = [dict(invariant) for invariant in invariants]
     return invariants
 
 

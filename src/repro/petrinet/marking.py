@@ -33,6 +33,19 @@ class Marking(Mapping[str, int]):
         self._items: Tuple[Tuple[str, int], ...] = tuple(sorted(data.items()))
         self._hash = hash(self._items)
 
+    @classmethod
+    def _from_sorted_items(cls, items: Tuple[Tuple[str, int], ...]) -> "Marking":
+        """Internal fast path: build from already-sorted positive-count items.
+
+        Used by the indexed core, whose place IDs follow sorted-name order, to
+        skip the re-sort and validation of ``__init__``.
+        """
+        self = object.__new__(cls)
+        self._data = dict(items)
+        self._items = items
+        self._hash = hash(items)
+        return self
+
     # -- Mapping protocol -------------------------------------------------
     def __getitem__(self, place: str) -> int:
         return self._data.get(place, 0)
@@ -57,7 +70,18 @@ class Marking(Mapping[str, int]):
         if isinstance(other, Marking):
             return self._items == other._items
         if isinstance(other, Mapping):
-            return self == Marking(other)
+            # Compare without constructing a throwaway Marking (and paying its
+            # sort + hash): a marking equals a mapping iff the non-zero entries
+            # agree.  Mappings with negative counts can never equal a marking.
+            data = self._data
+            seen = 0
+            for place, count in other.items():
+                if not count:
+                    continue
+                if data.get(place, 0) != count:
+                    return False
+                seen += 1
+            return seen == len(data)
         return NotImplemented
 
     def __repr__(self) -> str:

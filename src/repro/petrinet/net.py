@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.petrinet.marking import Marking
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.petrinet.indexed import IndexedNet
 
 
 class PetriNetError(Exception):
@@ -129,6 +132,72 @@ class PetriNet:
     post: Dict[str, Dict[str, int]] = field(default_factory=dict)
     initial_tokens: Dict[str, int] = field(default_factory=dict)
 
+    # -- derived caches (not part of the value of the net) -----------------
+    # Structural version: bumped on every mutation so the indexed view and
+    # the place adjacency can detect staleness.
+    _version: int = field(default=0, init=False, repr=False, compare=False)
+    _indexed: Optional["IndexedNet"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _indexed_version: int = field(default=-1, init=False, repr=False, compare=False)
+    # place -> {transition: weight} adjacency, maintained incrementally by
+    # add_place/add_arc and rebuilt lazily after invalidate_caches().
+    _place_in: Dict[str, Dict[str, int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _place_out: Dict[str, Dict[str, int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _adjacency_dirty: bool = field(default=False, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Constructor-supplied dicts bypass add_place/add_arc; rebuild lazily.
+        if self.places or self.pre or self.post:
+            self._adjacency_dirty = True
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Declare a structural mutation done outside the ``add_*`` methods.
+
+        Code that pokes ``pre``/``post``/``places``/``initial_tokens``
+        directly (the linker's place merging, the compiler's epsilon
+        collapse) must call this afterwards so the indexed view and the
+        place adjacency are rebuilt before their next use.
+        """
+        self._version += 1
+        self._indexed = None
+        self._adjacency_dirty = True
+
+    def indexed(self) -> "IndexedNet":
+        """The cached integer-dense view of this net (see ``petrinet.indexed``).
+
+        Rebuilt automatically when the structural version changed; callers
+        must not keep using an old view across mutations.
+        """
+        if self._indexed is None or self._indexed_version != self._version:
+            from repro.petrinet.indexed import IndexedNet
+
+            self._indexed = IndexedNet(self)
+            self._indexed_version = self._version
+        return self._indexed
+
+    def _adjacency(self) -> Tuple[Dict[str, Dict[str, int]], Dict[str, Dict[str, int]]]:
+        if self._adjacency_dirty:
+            place_in: Dict[str, Dict[str, int]] = {p: {} for p in self.places}
+            place_out: Dict[str, Dict[str, int]] = {p: {} for p in self.places}
+            for transition, places in self.pre.items():
+                for place, weight in places.items():
+                    place_out[place][transition] = weight
+            for transition, places in self.post.items():
+                for place, weight in places.items():
+                    place_in[place][transition] = weight
+            self._place_in = place_in
+            self._place_out = place_out
+            self._adjacency_dirty = False
+        return self._place_in, self._place_out
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -161,6 +230,10 @@ class PetriNet:
         self.places[name] = place
         if tokens:
             self.initial_tokens[name] = tokens
+        if not self._adjacency_dirty:
+            self._place_in[name] = {}
+            self._place_out[name] = {}
+        self._version += 1
         return place
 
     def add_transition(
@@ -191,6 +264,7 @@ class PetriNet:
         self.transitions[name] = transition
         self.pre[name] = {}
         self.post[name] = {}
+        self._version += 1
         return transition
 
     def add_arc(self, src: str, dst: str, weight: int = 1) -> None:
@@ -202,11 +276,18 @@ class PetriNet:
         if weight <= 0:
             raise ArcError(f"arc weight must be positive, got {weight}")
         if src in self.places and dst in self.transitions:
-            self.pre[dst][src] = self.pre[dst].get(src, 0) + weight
+            total = self.pre[dst].get(src, 0) + weight
+            self.pre[dst][src] = total
+            if not self._adjacency_dirty:
+                self._place_out[src][dst] = total
         elif src in self.transitions and dst in self.places:
-            self.post[src][dst] = self.post[src].get(dst, 0) + weight
+            total = self.post[src].get(dst, 0) + weight
+            self.post[src][dst] = total
+            if not self._adjacency_dirty:
+                self._place_in[dst][src] = total
         else:
             raise ArcError(f"arc ({src!r}, {dst!r}) does not connect a place and a transition")
+        self._version += 1
 
     # ------------------------------------------------------------------
     # weights / structure queries
@@ -229,19 +310,13 @@ class PetriNet:
 
     def preset_of_place(self, place: str) -> Dict[str, int]:
         """Transitions feeding ``place`` with their weights."""
-        result: Dict[str, int] = {}
-        for transition, places in self.post.items():
-            if place in places:
-                result[transition] = places[place]
-        return result
+        place_in, _place_out = self._adjacency()
+        return dict(place_in.get(place, ()))
 
     def postset_of_place(self, place: str) -> Dict[str, int]:
         """Transitions consuming from ``place`` with their weights."""
-        result: Dict[str, int] = {}
-        for transition, places in self.pre.items():
-            if place in places:
-                result[transition] = places[place]
-        return result
+        _place_in, place_out = self._adjacency()
+        return dict(place_out.get(place, ()))
 
     def successors_of_place(self, place: str) -> List[str]:
         return sorted(self.postset_of_place(place))
@@ -265,6 +340,13 @@ class PetriNet:
             self.initial_tokens[place] = tokens
         else:
             self.initial_tokens.pop(place, None)
+        # Token counts are not arc structure: the indexed snapshot's delta and
+        # adjacency tables stay valid, only its initial vector must refresh.
+        if self._indexed is not None and self._indexed_version == self._version:
+            indexed = self._indexed
+            indexed.initial_vec = tuple(
+                self.initial_tokens.get(name, 0) for name in indexed.place_names
+            )
 
     def is_enabled(self, transition: str, marking: Marking) -> bool:
         """True if ``transition`` is enabled at ``marking``."""
@@ -276,12 +358,8 @@ class PetriNet:
         """Fire ``transition`` at ``marking`` and return the new marking."""
         if not self.is_enabled(transition, marking):
             raise PetriNetError(f"transition {transition!r} is not enabled at {marking.pretty()}")
-        deltas: Dict[str, int] = {}
-        for place, weight in self.pre[transition].items():
-            deltas[place] = deltas.get(place, 0) - weight
-        for place, weight in self.post[transition].items():
-            deltas[place] = deltas.get(place, 0) + weight
-        return marking.add(deltas)
+        indexed = self.indexed()
+        return marking.add(indexed.deltas_by_name[indexed.transition_index[transition]])
 
     def fire_sequence(self, sequence: Sequence[str], marking: Optional[Marking] = None) -> Marking:
         """Fire a sequence of transitions, raising if any is not enabled."""
@@ -301,7 +379,11 @@ class PetriNet:
 
     def enabled_transitions(self, marking: Marking) -> List[str]:
         """All transitions enabled at ``marking`` (sorted by name)."""
-        return sorted(t for t in self.transitions if self.is_enabled(t, marking))
+        indexed = self.indexed()
+        vec = indexed.vec_of_marking(marking)
+        names = indexed.transition_names
+        # transition IDs follow sorted-name order, so the result is sorted
+        return [names[tid] for tid in indexed.enabled_vec(vec)]
 
     # ------------------------------------------------------------------
     # classification helpers

@@ -92,11 +92,21 @@ def build_reachability_graph(
         If True, raise :class:`ReachabilityLimitExceeded` when ``max_nodes``
         is hit; otherwise return a graph flagged ``complete=False``.
     """
+    # The exploration runs on the indexed core: markings are dense tuples,
+    # firing applies precomputed deltas, and each node's enabled set is
+    # derived incrementally from its BFS predecessor's.  The public graph
+    # still exposes facade Markings (one conversion per distinct node).
+    indexed = net.indexed()
     graph = ReachabilityGraph(net=net)
-    initial = net.initial_marking
+    initial_vec = indexed.initial_vec
+    initial = indexed.marking_of_vec(initial_vec)
     graph.nodes.append(ReachabilityNode(index=0, marking=initial))
     graph.index_of[initial] = 0
+    index_of_vec = {initial_vec: 0}
+    vecs = [initial_vec]
+    enabled_sets: List[Optional[frozenset]] = [None]
     frontier = deque([0])
+    transition_names = indexed.transition_names
 
     def expandable(marking: Marking) -> bool:
         if marking_filter is not None and not marking_filter(marking):
@@ -111,10 +121,18 @@ def build_reachability_graph(
         node = graph.nodes[index]
         if not expandable(node.marking):
             continue
-        for transition in net.enabled_transitions(node.marking):
-            successor = net.fire(transition, node.marking)
-            if successor in graph.index_of:
-                node.successors[transition] = graph.index_of[successor]
+        vec = vecs[index]
+        enabled = enabled_sets[index]
+        if enabled is None:
+            enabled = frozenset(indexed.enabled_vec(vec))
+            enabled_sets[index] = enabled
+        # ascending transition ID == ascending name: matches the facade order
+        for tid in sorted(enabled):
+            successor_vec = indexed.fire_vec(tid, vec)
+            transition = transition_names[tid]
+            existing = index_of_vec.get(successor_vec)
+            if existing is not None:
+                node.successors[transition] = existing
                 continue
             if len(graph.nodes) >= max_nodes:
                 graph.complete = False
@@ -124,8 +142,12 @@ def build_reachability_graph(
                     )
                 continue
             new_index = len(graph.nodes)
+            successor = indexed.marking_of_vec(successor_vec)
             graph.nodes.append(ReachabilityNode(index=new_index, marking=successor))
             graph.index_of[successor] = new_index
+            index_of_vec[successor_vec] = new_index
+            vecs.append(successor_vec)
+            enabled_sets.append(indexed.enabled_after(enabled, tid, successor_vec))
             node.successors[transition] = new_index
             frontier.append(new_index)
     return graph

@@ -113,6 +113,21 @@ class _ProcessTask:
         for (process, port), place in system.port_place_of.items():
             if process == name:
                 self._port_of_place[place] = port
+        # control place -> successor transitions of this process; the net is
+        # structurally frozen during simulation, so compute each list once
+        # instead of querying the place adjacency on every executed step
+        self._successors_of_place: Dict[str, List[str]] = {}
+
+    def _process_successors(self, place: str) -> List[str]:
+        cached = self._successors_of_place.get(place)
+        if cached is None:
+            cached = [
+                t
+                for t in sorted(self.net.postset_of_place(place))
+                if self.net.transitions[t].process == self.name
+            ]
+            self._successors_of_place[place] = cached
+        return cached
 
     # -- transition selection ------------------------------------------------
     def _candidate_transition(self) -> Optional[str]:
@@ -123,8 +138,7 @@ class _ProcessTask:
         availability through the binding.
         """
         place_obj = self.net.places[self.current_place]
-        successors = sorted(self.net.postset_of_place(self.current_place))
-        successors = [t for t in successors if self.net.transitions[t].process == self.name]
+        successors = self._process_successors(self.current_place)
         if not successors:
             return None
         if len(successors) == 1:

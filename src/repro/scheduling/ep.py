@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.petrinet.analysis import StructuralAnalysis
+from repro.petrinet.indexed import IndexedNet, MarkingStore, MarkingVec
 from repro.petrinet.marking import Marking
 from repro.petrinet.net import PetriNet
 from repro.scheduling.heuristics import (
@@ -70,66 +71,121 @@ class SchedulerOptions:
 
 
 @dataclass
+class SearchCounters:
+    """Profiling counters of one EP/EP_ECS search (exposed on the result)."""
+
+    nodes_expanded: int = 0
+    fires: int = 0
+    enabled_scans: int = 0
+    enabled_updates: int = 0
+    interned_markings: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+@dataclass
 class TreeNode:
-    """A node of the scheduling tree."""
+    """A node of the scheduling tree.
+
+    Markings are held as interned dense vectors of the indexed core; the
+    facade :class:`Marking` is materialised lazily (``SchedulingTree.
+    marking_of``) and cached, so only nodes that survive into the schedule or
+    feed a heuristic pay the conversion.
+    """
 
     index: int
     parent: Optional[int]
     depth: int
-    marking: Marking
+    vec: MarkingVec
+    tid: Optional[int]  # transition ID fired on the edge from the parent
     transition: Optional[str]  # edge label from the parent
     total_tokens: int = 0
     children: List[int] = field(default_factory=list)
     ecs_choice: Optional[ECS] = None
     equal_ancestor: Optional[int] = None
+    marking_cache: Optional[Marking] = None
+    enabled: Optional[FrozenSet[int]] = None
+
+    @property
+    def marking(self) -> Marking:
+        """Facade view; prefer ``SchedulingTree.marking_of`` (it caches)."""
+        if self.marking_cache is None:
+            raise AttributeError(
+                "marking not materialised; use SchedulingTree.marking_of"
+            )
+        return self.marking_cache
 
 
 class SchedulingTree:
-    """The rooted tree grown by EP/EP_ECS, plus the current DFS path state."""
+    """The rooted tree grown by EP/EP_ECS, plus the current DFS path state.
 
-    def __init__(self, net: PetriNet):
+    Runs entirely on the indexed core: nodes carry interned marking vectors,
+    and each node's enabled transition set is derived incrementally from its
+    parent's (only transitions adjacent to changed places are re-checked).
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        counters: Optional[SearchCounters] = None,
+    ):
         self.net = net
+        self.inet: IndexedNet = net.indexed()
+        self.counters = counters or SearchCounters()
+        self.store = MarkingStore()
         self.nodes: List[TreeNode] = []
         # state of the current DFS path (root .. current node)
         self._path: List[int] = []
-        self._markings_on_path: Dict[Marking, int] = {}
+        self._markings_on_path: Dict[MarkingVec, int] = {}
         self._path_firings: Dict[str, int] = {}
 
     # -- construction -----------------------------------------------------
-    def add_root(self, marking: Marking) -> int:
+    def add_root(self, vec: MarkingVec) -> int:
         assert not self.nodes
+        vec = self.store.intern(vec)
         self.nodes.append(
             TreeNode(
                 index=0,
                 parent=None,
                 depth=0,
-                marking=marking,
+                vec=vec,
+                tid=None,
                 transition=None,
-                total_tokens=marking.total_tokens(),
+                total_tokens=sum(vec),
             )
         )
         return 0
 
-    def add_child(self, parent: int, transition: str, marking: Marking) -> int:
+    def add_child(self, parent: int, tid: int, vec: MarkingVec) -> int:
         index = len(self.nodes)
+        vec = self.store.intern(vec)
+        parent_node = self.nodes[parent]
         node = TreeNode(
             index=index,
             parent=parent,
-            depth=self.nodes[parent].depth + 1,
-            marking=marking,
-            transition=transition,
-            total_tokens=marking.total_tokens(),
+            depth=parent_node.depth + 1,
+            vec=vec,
+            tid=tid,
+            transition=self.inet.transition_names[tid],
+            total_tokens=parent_node.total_tokens + self.inet.token_delta[tid],
         )
         self.nodes.append(node)
-        self.nodes[parent].children.append(index)
+        parent_node.children.append(index)
         return index
 
     def __len__(self) -> int:
         return len(self.nodes)
 
     # -- SchedulingTreeView protocol ---------------------------------------
+    def vec_of(self, node: int) -> MarkingVec:
+        return self.nodes[node].vec
+
     def marking_of(self, node: int) -> Marking:
-        return self.nodes[node].marking
+        tree_node = self.nodes[node]
+        if tree_node.marking_cache is None:
+            tree_node.marking_cache = self.inet.marking_of_vec(tree_node.vec)
+        return tree_node.marking_cache
 
     def total_tokens_of(self, node: int) -> int:
         return self.nodes[node].total_tokens
@@ -141,12 +197,37 @@ class SchedulingTree:
             yield current
             current = self.nodes[current].parent
 
+    # -- incremental enabled sets -------------------------------------------
+    def enabled_of(self, node: int) -> FrozenSet[int]:
+        """Enabled transition IDs at the node's marking.
+
+        Computed incrementally from the nearest ancestor with a cached set
+        (the root scans the net once); memoised per node.
+        """
+        chain: List[int] = []
+        current = node
+        tree_node = self.nodes[current]
+        while tree_node.enabled is None and tree_node.parent is not None:
+            chain.append(current)
+            current = tree_node.parent
+            tree_node = self.nodes[current]
+        if tree_node.enabled is None:
+            tree_node.enabled = frozenset(self.inet.enabled_vec(tree_node.vec))
+            self.counters.enabled_scans += 1
+        enabled = tree_node.enabled
+        for index in reversed(chain):
+            child = self.nodes[index]
+            enabled = self.inet.enabled_after(enabled, child.tid, child.vec)
+            self.counters.enabled_updates += 1
+            child.enabled = enabled
+        return enabled
+
     # -- DFS path bookkeeping -------------------------------------------------
     def push(self, node: int) -> None:
         tree_node = self.nodes[node]
         self._path.append(node)
-        if tree_node.marking not in self._markings_on_path:
-            self._markings_on_path[tree_node.marking] = node
+        if tree_node.vec not in self._markings_on_path:
+            self._markings_on_path[tree_node.vec] = node
         if tree_node.transition is not None:
             self._path_firings[tree_node.transition] = (
                 self._path_firings.get(tree_node.transition, 0) + 1
@@ -156,8 +237,8 @@ class SchedulingTree:
         popped = self._path.pop()
         assert popped == node
         tree_node = self.nodes[node]
-        if self._markings_on_path.get(tree_node.marking) == node:
-            del self._markings_on_path[tree_node.marking]
+        if self._markings_on_path.get(tree_node.vec) == node:
+            del self._markings_on_path[tree_node.vec]
         if tree_node.transition is not None:
             self._path_firings[tree_node.transition] -= 1
             if not self._path_firings[tree_node.transition]:
@@ -165,8 +246,8 @@ class SchedulingTree:
 
     def equal_marking_ancestor(self, node: int) -> Optional[int]:
         """Proper ancestor on the current path carrying the same marking."""
-        marking = self.nodes[node].marking
-        candidate = self._markings_on_path.get(marking)
+        vec = self.nodes[node].vec
+        candidate = self._markings_on_path.get(vec)
         if candidate is None or candidate == node:
             return None
         return candidate
@@ -200,6 +281,7 @@ class SchedulerResult:
     tree_nodes: int
     elapsed_seconds: float
     failure_reason: Optional[str] = None
+    counters: SearchCounters = field(default_factory=SearchCounters)
 
     @property
     def success(self) -> bool:
@@ -220,24 +302,43 @@ class _EPSearch:
         self.net = net
         self.source = source
         self.options = options
-        self.analysis = analysis or StructuralAnalysis.of(net)
+        if analysis is None or analysis.indexed_net is not net.indexed():
+            # A caller-supplied analysis built before a structural mutation
+            # carries transition IDs of a dead snapshot; rebuild rather than
+            # silently mixing ID spaces.
+            analysis = StructuralAnalysis.of(net)
+        self.analysis = analysis
         self.termination = options.termination or default_termination(
             net, analysis=self.analysis, max_nodes=options.max_nodes
         )
         self.heuristic = heuristic or make_heuristic(
             net, self.analysis, source, use_invariants=options.use_invariant_heuristic
         )
-        self.tree = SchedulingTree(net)
+        self.counters = SearchCounters()
+        self.tree = SchedulingTree(net, counters=self.counters)
+        self.inet = self.tree.inet
         self.other_uncontrollable = {
             t for t in self.analysis.uncontrollable if t != source
         }
-        self._token_deltas: Dict[str, int] = {
-            t: sum(net.post[t].values()) - sum(net.pre[t].values())
-            for t in net.transitions
-        }
+        # ECS IDs excluded under the single-source restriction, and source ECS
+        # IDs (deferred by the Section 4.4 pruning rule).
+        self._excluded_ecs_ids = frozenset(
+            ecs_id
+            for ecs_id, ecs in enumerate(self.analysis.partition)
+            if ecs & self.other_uncontrollable
+        )
+        self._source_ecs_ids = self.analysis.source_ecs_ids
+        # per-ECS-ID minimum token delta (tie-break: drain channels first)
+        token_delta = self.inet.token_delta
+        tindex = self.inet.transition_index
+        self._ecs_token_delta = tuple(
+            min(token_delta[tindex[t]] for t in ecs)
+            for ecs in self.analysis.partition
+        )
 
-    def _token_delta(self, transition: str) -> int:
-        return self._token_deltas[transition]
+    def _fire(self, tid: int, vec) -> tuple:
+        self.counters.fires += 1
+        return self.inet.fire_vec(tid, vec)
 
     # -- ancestor ordering helpers -----------------------------------------
     def _closer_to_root(self, a: int, b: int) -> int:
@@ -258,11 +359,12 @@ class _EPSearch:
                         "no cyclic schedule can exist"
                     ),
                 )
-        initial = self.net.initial_marking
+        initial = self.inet.initial_vec
         root = self.tree.add_root(initial)
         self.tree.nodes[root].ecs_choice = frozenset({self.source})
-        child_marking = self.net.fire(self.source, initial)
-        child = self.tree.add_child(root, self.source, child_marking)
+        source_tid = self.inet.transition_index[self.source]
+        child_vec = self._fire(source_tid, initial)
+        child = self.tree.add_child(root, source_tid, child_vec)
 
         # Pure-Python recursion is heap-allocated on CPython >= 3.11, so a deep
         # schedule (one tree level per fired transition) only needs a higher
@@ -281,6 +383,7 @@ class _EPSearch:
             sys.setrecursionlimit(old_limit)
 
         elapsed = time.monotonic() - start
+        self.counters.interned_markings = len(self.tree.store)
         if entering_point != root:
             return SchedulerResult(
                 source_transition=self.source,
@@ -288,6 +391,7 @@ class _EPSearch:
                 tree_nodes=len(self.tree),
                 elapsed_seconds=elapsed,
                 failure_reason="no entering point reaching the initial marking was found",
+                counters=self.counters,
             )
         schedule = self._post_process(root)
         if self.options.validate:
@@ -297,10 +401,12 @@ class _EPSearch:
             schedule=schedule,
             tree_nodes=len(self.tree),
             elapsed_seconds=elapsed,
+            counters=self.counters,
         )
 
     # -- EP ----------------------------------------------------------------
     def _ep(self, v: int, target: int) -> Optional[int]:
+        self.counters.nodes_expanded += 1
         if self.termination.holds(self.tree, v):
             return UNDEF
         equal = self.tree.equal_marking_ancestor(v)
@@ -308,30 +414,36 @@ class _EPSearch:
             self.tree.nodes[v].equal_ancestor = equal
             return equal
 
-        marking = self.tree.marking_of(v)
-        enabled = self.analysis.enabled_ecss(marking)
-        if self.options.single_source:
-            enabled = [
-                ecs for ecs in enabled if not (ecs & self.other_uncontrollable)
+        enabled_tids = self.tree.enabled_of(v)
+        enabled_ids = self.analysis.enabled_ecs_ids(enabled_tids)
+        if self.options.single_source and self._excluded_ecs_ids:
+            enabled_ids = [
+                ecs_id for ecs_id in enabled_ids
+                if ecs_id not in self._excluded_ecs_ids
             ]
-        if not enabled:
+        if not enabled_ids:
             return UNDEF
+        partition = self.analysis.partition
+        enabled = [partition[ecs_id] for ecs_id in enabled_ids]
 
         if len(enabled) == 1:
             ordered = list(enabled)
         else:
+            vec = self.tree.vec_of(v)
+            on_path = self.tree._markings_on_path
+            tindex = self.inet.transition_index
             lookahead: Dict[ECS, ECSLookahead] = {}
-            for ecs in enabled:
+            for ecs_id, ecs in zip(enabled_ids, enabled):
                 hits = False
                 closes = False
-                delta = min(self._token_delta(transition) for transition in ecs)
-                if not self.analysis.is_source_ecs(ecs):
-                    for transition in ecs:
-                        candidate = self.net.fire(transition, marking)
-                        if self.tree._markings_on_path.get(candidate) is not None:
+                delta = self._ecs_token_delta[ecs_id]
+                if ecs_id not in self._source_ecs_ids:
+                    for transition in sorted(ecs):
+                        candidate = self._fire(tindex[transition], vec)
+                        if on_path.get(candidate) is not None:
                             closes = True
                             break
-                        probe = self.tree.add_child(v, transition, candidate)
+                        probe = self.tree.add_child(v, tindex[transition], candidate)
                         if self.termination.holds(self.tree, probe):
                             hits = True
                         # remove the probe node again (it was only a lookahead)
@@ -343,7 +455,7 @@ class _EPSearch:
                     hits_termination=hits, closes_cycle=closes, token_delta=delta
                 )
             context = HeuristicContext(
-                marking=marking,
+                marking=self.tree.marking_of(v),
                 path_firings=self.tree.path_firings(),
                 depth=self.tree.nodes[v].depth,
                 lookahead=lookahead,
@@ -386,11 +498,13 @@ class _EPSearch:
     def _ep_ecs(self, ecs: ECS, v: int, target: int) -> Optional[int]:
         entering_point: Optional[int] = UNDEF
         current_target = target
+        vec = self.tree.vec_of(v)
+        tindex = self.inet.transition_index
         for transition in sorted(ecs):
             if len(self.tree) >= self.options.max_nodes:
                 return UNDEF
-            marking = self.net.fire(transition, self.tree.marking_of(v))
-            child = self.tree.add_child(v, transition, marking)
+            tid = tindex[transition]
+            child = self.tree.add_child(v, tid, self._fire(tid, vec))
             self.tree.push(child)
             try:
                 child_point = self._ep(child, current_target)
@@ -441,7 +555,7 @@ class _EPSearch:
         for index in sorted(retained):
             if index in merged:
                 continue
-            schedule_node = schedule.add_node(self.tree.nodes[index].marking)
+            schedule_node = schedule.add_node(self.tree.marking_of(index))
             index_map[index] = schedule_node.index
 
         def resolve(index: int) -> int:

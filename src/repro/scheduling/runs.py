@@ -98,7 +98,11 @@ def build_run(
         raise RunError("no schedules supplied")
     resolver = resolver or first_choice_resolver
     reference_net = net or next(iter(schedules.values())).net
-    marking = reference_net.initial_marking
+    # Fire on the indexed core: a tuple update per transition instead of a
+    # dict copy + sorted-tuple hash per Marking.
+    inet = reference_net.indexed()
+    vec = inet.initial_vec
+    tindex = inet.transition_index
 
     # current await node per schedule (None = the distinguished node, not yet used)
     positions: Dict[str, int] = {}
@@ -124,12 +128,13 @@ def build_run(
             target = node.edges[transition]
             segment.transitions.append(transition)
             if check_fireable:
-                if not reference_net.is_enabled(transition, marking):
+                tid = tindex.get(transition)
+                if tid is None or not inet.is_enabled_vec(tid, vec):
                     raise RunError(
                         f"run is not fireable: transition {transition!r} not enabled at "
-                        f"{marking.pretty()} (event {event!r})"
+                        f"{inet.marking_of_vec(vec).pretty()} (event {event!r})"
                     )
-                marking = reference_net.fire(transition, marking)
+                vec = inet.fire_vec(tid, vec)
             node = schedule.node(target)
             steps += 1
             if steps > max_steps_per_event:
@@ -144,7 +149,7 @@ def build_run(
             if len(outgoing) == 1:
                 transition = next(iter(outgoing))
             else:
-                transition = resolver(schedule, node, marking)
+                transition = resolver(schedule, node, inet.marking_of_vec(vec))
                 if transition not in node.edges:
                     raise RunError(
                         f"choice resolver returned {transition!r} which is not an edge of node {node.index}"
@@ -153,7 +158,7 @@ def build_run(
         positions[event] = node.index
         run.segments.append(segment)
 
-    run.final_marking = marking
+    run.final_marking = inet.marking_of_vec(vec)
     return run
 
 

@@ -27,7 +27,13 @@ from repro.petrinet.net import PetriNet
 
 
 class SchedulingTreeView(Protocol):
-    """The part of the scheduling tree a termination condition can see."""
+    """The part of the scheduling tree a termination condition can see.
+
+    Trees built on the indexed core may additionally expose ``vec_of(node)``
+    (a dense tuple of token counts) and an ``inet`` attribute (the
+    :class:`~repro.petrinet.indexed.IndexedNet`); conditions use those as a
+    fast path and fall back to ``marking_of`` otherwise.
+    """
 
     def marking_of(self, node: int) -> Marking:  # pragma: no cover - protocol
         ...
@@ -71,6 +77,11 @@ class IrrelevanceCriterion(TerminationCondition):
 
     degrees: Dict[str, int]
     name: str = "irrelevance"
+    # cached dense degree vector, keyed by the indexed net it was built for
+    _degrees_vec_for: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _degrees_vec: tuple = field(default=(), init=False, repr=False, compare=False)
 
     @classmethod
     def for_net(cls, net: PetriNet) -> "IrrelevanceCriterion":
@@ -94,7 +105,37 @@ class IrrelevanceCriterion(TerminationCondition):
                 return False
         return True
 
+    def _holds_vec(self, tree, inet, node: int) -> bool:
+        """Dense fast path over marking vectors (no Marking construction)."""
+        if self._degrees_vec_for is not inet:
+            self._degrees_vec = tuple(
+                self.degrees.get(name, 0) for name in inet.place_names
+            )
+            self._degrees_vec_for = inet
+        degrees = self._degrees_vec
+        vec = tree.vec_of(node)
+        totals = tree.total_tokens_of
+        current_total = totals(node)
+        for ancestor in tree.ancestors_of(node):
+            if totals(ancestor) > current_total:
+                continue
+            avec = tree.vec_of(ancestor)
+            if avec is vec or avec == vec:
+                continue
+            irrelevant = True
+            for count, previous, degree in zip(vec, avec, degrees):
+                if count < previous or (count > previous and previous < degree):
+                    irrelevant = False
+                    break
+            if irrelevant:
+                return True
+        return False
+
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        vec_of = getattr(tree, "vec_of", None)
+        inet = getattr(tree, "inet", None)
+        if vec_of is not None and inet is not None:
+            return self._holds_vec(tree, inet, node)
         marking = tree.marking_of(node)
         # Cheap pre-filter: an ancestor can only be covered by the current
         # marking if it does not hold more tokens in total.
@@ -119,12 +160,35 @@ class PlaceBoundCondition(TerminationCondition):
     bounds: Dict[str, int] = field(default_factory=dict)
     default_bound: Optional[int] = None
     name: str = "place-bounds"
+    _bounds_vec_for: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _bounds_vec: tuple = field(default=(), init=False, repr=False, compare=False)
 
     @classmethod
     def uniform(cls, net: PetriNet, bound: int) -> "PlaceBoundCondition":
         return cls(bounds={place: bound for place in net.places})
 
+    def _bounded_pids(self, inet) -> tuple:
+        if self._bounds_vec_for is not inet:
+            entries = []
+            for pid, name in enumerate(inet.place_names):
+                bound = self.bounds.get(name, self.default_bound)
+                if bound is not None:
+                    entries.append((pid, bound))
+            self._bounds_vec = tuple(entries)
+            self._bounds_vec_for = inet
+        return self._bounds_vec
+
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        vec_of = getattr(tree, "vec_of", None)
+        inet = getattr(tree, "inet", None)
+        if vec_of is not None and inet is not None:
+            vec = vec_of(node)
+            for pid, bound in self._bounded_pids(inet):
+                if vec[pid] > bound:
+                    return True
+            return False
         marking = tree.marking_of(node)
         for place, count in marking.items():
             bound = self.bounds.get(place, self.default_bound)
@@ -144,6 +208,10 @@ class UserBoundCondition(TerminationCondition):
 
     bounds: Dict[str, int] = field(default_factory=dict)
     name: str = "user-channel-bounds"
+    _bounds_vec_for: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _bounds_vec: tuple = field(default=(), init=False, repr=False, compare=False)
 
     @classmethod
     def for_net(cls, net: PetriNet) -> "UserBoundCondition":
@@ -152,8 +220,26 @@ class UserBoundCondition(TerminationCondition):
         }
         return cls(bounds=bounds)
 
+    def _bounded_pids(self, inet) -> tuple:
+        if self._bounds_vec_for is not inet:
+            self._bounds_vec = tuple(
+                (inet.place_index[place], bound)
+                for place, bound in self.bounds.items()
+                if place in inet.place_index
+            )
+            self._bounds_vec_for = inet
+        return self._bounds_vec
+
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
         if not self.bounds:
+            return False
+        vec_of = getattr(tree, "vec_of", None)
+        inet = getattr(tree, "inet", None)
+        if vec_of is not None and inet is not None:
+            vec = vec_of(node)
+            for pid, bound in self._bounded_pids(inet):
+                if vec[pid] > bound:
+                    return True
             return False
         marking = tree.marking_of(node)
         for place, bound in self.bounds.items():

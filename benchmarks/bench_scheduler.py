@@ -3,14 +3,30 @@
 * E4: the Section 8.2 claim -- the PFC system is scheduled into a single task
   with unit-size control channels in well under a minute.
 * Ablation: T-invariant-guided ECS ordering vs. the plain tie-break ordering.
+
+Besides the pytest-benchmark harnesses, the module is a CLI that times the
+serial vs. parallel ``find_all_schedules`` paths and writes the comparison
+to ``BENCH_scheduler.json``:
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --workers 4
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --quick   # CI smoke
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
 from repro.apps.divisors import build_divisors_system
 from repro.apps.video import VideoAppConfig, build_video_system
+from repro.apps.workloads import random_multi_source_net
 from repro.experiments.schedule_stats import run_schedule_stats
-from repro.scheduling.ep import SchedulerOptions, find_schedule
+from repro.scheduling.ep import SchedulerOptions, find_all_schedules, find_schedule
+from repro.scheduling.serialize import schedule_to_json
 
 BENCH_CONFIG = VideoAppConfig(lines_per_frame=4, pixels_per_line=5)
 
@@ -67,3 +83,113 @@ def test_divisors_scheduling(benchmark):
         iterations=1,
     )
     assert result.success
+
+
+# ---------------------------------------------------------------------------
+# CLI: serial vs. parallel find_all_schedules -> BENCH_scheduler.json
+# ---------------------------------------------------------------------------
+
+
+def _results_signature(results) -> Dict[str, Optional[str]]:
+    return {
+        source: (schedule_to_json(r.schedule) if r.schedule else None)
+        for source, r in results.items()
+    }
+
+
+def _bench_case(name, net, *, workers: int, repeats: int) -> Dict[str, object]:
+    """Best-of-``repeats`` wall clock for the serial and parallel paths."""
+    serial_times: List[float] = []
+    parallel_times: List[float] = []
+    serial = parallel = None
+    for _ in range(repeats):
+        start = time.monotonic()
+        serial = find_all_schedules(net)
+        serial_times.append(time.monotonic() - start)
+        start = time.monotonic()
+        parallel = find_all_schedules(net, workers=workers)
+        parallel_times.append(time.monotonic() - start)
+    identical = _results_signature(serial) == _results_signature(parallel)
+    best_serial = min(serial_times)
+    best_parallel = min(parallel_times)
+    return {
+        "case": name,
+        "sources": len(serial),
+        "repeats": repeats,
+        "serial_seconds": round(best_serial, 4),
+        "parallel_seconds": round(best_parallel, 4),
+        "speedup": round(best_serial / best_parallel, 3) if best_parallel else None,
+        "identical_schedules": identical,
+    }
+
+
+def run_cli_bench(
+    *, workers: int, quick: bool = False, repeats: Optional[int] = None
+) -> Dict[str, object]:
+    repeats = repeats or (1 if quick else 3)
+    cases = [
+        ("pfc_4x5", build_video_system(VideoAppConfig(4, 5)).net),
+        # eight independent sources: the shape the per-source fan-out targets
+        ("multi_source_8x6", random_multi_source_net(8, 6, seed=1)),
+    ]
+    if not quick:
+        cases.insert(1, ("pfc_10x10", build_video_system(VideoAppConfig(10, 10)).net))
+    rows = [
+        _bench_case(name, net, workers=workers, repeats=repeats)
+        for name, net in cases
+    ]
+    return {
+        "benchmark": "find_all_schedules serial vs parallel",
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "cases": rows,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time serial vs parallel find_all_schedules and emit JSON."
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, os.cpu_count() or 1),
+        help="process-pool width for the parallel path (default: max(2, cpus))",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: skip the 10x10 geometry (runs pfc_4x5 and "
+        "multi_source_8x6), one repeat",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="override best-of repeat count"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_scheduler.json",
+        help="where to write the JSON report (default: ./BENCH_scheduler.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_cli_bench(workers=args.workers, quick=args.quick, repeats=args.repeats)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    for row in report["cases"]:
+        print(
+            f"{row['case']:<18} sources={row['sources']:<3} "
+            f"serial={row['serial_seconds']:.3f}s "
+            f"parallel[{args.workers}]={row['parallel_seconds']:.3f}s "
+            f"speedup={row['speedup']}x identical={row['identical_schedules']}"
+        )
+    print(f"wrote {args.output}")
+    if not all(row["identical_schedules"] for row in report["cases"]):
+        print("ERROR: parallel schedules diverge from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

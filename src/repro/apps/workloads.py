@@ -12,7 +12,7 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 from repro.flowc.netlist import Network
-from repro.petrinet.net import PetriNet, SourceKind
+from repro.petrinet.net import PetriNet, SourceKind, merge_nets
 
 
 def producer_consumer_source(items: int, *, burst: int = 1) -> str:
@@ -114,8 +114,11 @@ def build_pipeline_network(stages: int = 3, items: int = 4) -> Network:
 def random_marked_graph(
     transitions: int,
     *,
+    rng: Optional[random.Random] = None,
     seed: int = 0,
     max_weight: int = 2,
+    prefix: str = "",
+    label: Optional[str] = None,
 ) -> PetriNet:
     """A random marked-graph ring driven by an uncontrollable source.
 
@@ -126,22 +129,32 @@ def random_marked_graph(
     graphs are the class for which scheduling is exactly solvable via
     T-invariants (Section 4.4); the generator is used by property tests of the
     invariant machinery and the scheduler.
+
+    Randomness comes from the explicit ``rng`` (a :class:`random.Random`)
+    when supplied; ``seed`` is only a convenience for constructing one.  The
+    module-global ``random`` state is never touched, so generated nets are
+    reproducible regardless of surrounding code.  ``prefix`` namespaces every
+    node name (used to embed several rings in one net).
     """
     if transitions < 2:
         raise ValueError("need at least two transitions")
-    rng = random.Random(seed)
-    net = PetriNet(name=f"marked_graph_{transitions}_{seed}")
-    names = [f"t{i}" for i in range(transitions)]
-    net.add_transition("src", source_kind=SourceKind.UNCONTROLLABLE)
+    if rng is None:
+        rng = random.Random(seed)
+        suffix = str(seed)
+    else:
+        suffix = "rng"
+    net = PetriNet(name=label or f"marked_graph_{transitions}_{suffix}")
+    names = [f"{prefix}t{i}" for i in range(transitions)]
+    net.add_transition(f"{prefix}src", source_kind=SourceKind.UNCONTROLLABLE)
     for name in names:
         net.add_transition(name)
-    net.add_place("p_src")
-    net.add_arc("src", "p_src")
-    net.add_arc("p_src", names[0])
+    net.add_place(f"{prefix}p_src")
+    net.add_arc(f"{prefix}src", f"{prefix}p_src")
+    net.add_arc(f"{prefix}p_src", names[0])
     # a ring of transitions; its token parks at the last place so t0 only
     # needs the source token to start a rotation
     for i in range(transitions):
-        place = f"p_ring_{i}"
+        place = f"{prefix}p_ring_{i}"
         tokens = 1 if i == transitions - 1 else 0
         source = names[i]
         target = names[(i + 1) % transitions]
@@ -155,8 +168,44 @@ def random_marked_graph(
         b = rng.randrange(transitions)
         if a == b:
             continue
-        place = f"p_extra_{j}"
+        place = f"{prefix}p_extra_{j}"
         net.add_place(place, 1)
         net.add_arc(names[a], place)
         net.add_arc(place, names[b])
     return net
+
+
+def random_multi_source_net(
+    sources: int,
+    transitions: int,
+    *,
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+) -> PetriNet:
+    """Several disjoint marked-graph rings, one uncontrollable source each.
+
+    Every ring is independently single-source schedulable (it is a strongly
+    connected marked graph), so the net has exactly ``sources`` uncontrollable
+    sources (``r0.src`` .. ``r{sources-1}.src``) whose EP searches share no
+    places -- the shape the parallel scheduler fans out over.  Ring sizes are
+    drawn from the shared ``rng`` so the per-source searches differ in cost.
+    """
+    if sources < 1:
+        raise ValueError("need at least one source")
+    if rng is None:
+        rng = random.Random(seed)
+        suffix = str(seed)
+    else:
+        suffix = "rng"
+    rings = []
+    for index in range(sources):
+        size = max(2, transitions + rng.randint(-1, 1))
+        rings.append(
+            random_marked_graph(
+                size,
+                rng=rng,
+                prefix=f"r{index}.",
+                label=f"ring{index}",
+            )
+        )
+    return merge_nets(rings, name=f"multi_source_{sources}_{transitions}_{suffix}")

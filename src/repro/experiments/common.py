@@ -20,8 +20,9 @@ from repro.runtime.simulation import (
     SimulationResult,
     SingleTaskSimulation,
 )
-from repro.scheduling.ep import SchedulerOptions, find_schedule
+from repro.scheduling.ep import SchedulerOptions
 from repro.scheduling.schedule import Schedule
+from repro.scheduling.warmstart import cached_find_schedule
 
 
 # Default frame geometry of the paper's experiment: "Frames were made by 10
@@ -119,7 +120,11 @@ class PfcExperimentSetup:
 @lru_cache(maxsize=4)
 def _cached_setup(config: VideoAppConfig, max_nodes: int) -> PfcExperimentSetup:
     system = build_video_system(config)
-    result = find_schedule(
+    # Warm-start by structural fingerprint: a geometry scheduled once in this
+    # process (even on a different net object -- tests, benchmarks and the
+    # table1/table2/figure20 sweeps all rebuild the system) replays its
+    # schedule instead of re-running the EP search.
+    result = cached_find_schedule(
         system.net,
         "src.controller.init",
         options=SchedulerOptions(max_nodes=max_nodes),

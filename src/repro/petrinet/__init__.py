@@ -15,6 +15,11 @@ The paper models the linked network of FlowC processes as a single Petri net
 * :mod:`repro.petrinet.indexed` -- the integer-dense core the hot paths run
   on: dense place/transition IDs, tuple markings, precomputed firing deltas
   and incremental enabled-set maintenance (see ``docs/architecture.md``).
+* :mod:`repro.petrinet.batched` -- NumPy marking-matrix backend (one row per
+  marking) for sweeps: batched enabledness, covering, bound and irrelevance
+  queries, frontier-at-a-time reachability.
+* :mod:`repro.petrinet.fingerprint` -- stable structural hashes keying the
+  warm-start caches across net objects.
 """
 
 from repro.petrinet.indexed import IndexedNet, MarkingStore
@@ -33,10 +38,12 @@ from repro.petrinet.analysis import (
     compute_ecs_partition,
     place_degree,
 )
+from repro.petrinet.fingerprint import incidence_fingerprint, structural_fingerprint
 from repro.petrinet.reachability import (
     ReachabilityGraph,
     ReachabilityNode,
     build_reachability_graph,
+    reachable_marking_matrix,
 )
 from repro.petrinet.invariants import (
     incidence_matrix,
@@ -62,9 +69,12 @@ __all__ = [
     "Transition",
     "build_reachability_graph",
     "compute_ecs_partition",
+    "incidence_fingerprint",
     "incidence_matrix",
     "is_t_invariant",
     "place_degree",
+    "reachable_marking_matrix",
     "solve_binate_covering",
+    "structural_fingerprint",
     "t_invariant_basis",
 ]

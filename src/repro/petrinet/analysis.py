@@ -228,7 +228,10 @@ class StructuralAnalysis:
     def enabled_ecss(self, marking: Marking) -> List[ECS]:
         """ECSs enabled at ``marking`` (deterministic order)."""
         indexed = self.indexed_net
-        if indexed is not None and indexed is self.net._indexed:
+        # net.indexed() rebuilds on structural version changes, so comparing
+        # against it (not the raw _indexed field, which mutators leave in
+        # place) is what actually detects a stale snapshot.
+        if indexed is not None and indexed is self.net.indexed():
             vec = indexed.vec_of_marking(marking)
             return [
                 self.partition[ecs_id]

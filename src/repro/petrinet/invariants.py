@@ -19,7 +19,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.petrinet.fingerprint import incidence_fingerprint
 from repro.petrinet.net import PetriNet
+from repro.util import BoundedLRU
+
+# Warm-start store for computed bases, keyed on the *incidence fingerprint*
+# (the basis depends on nothing else).  The per-snapshot analysis_cache dies
+# whenever a config sweep rebuilds a structurally identical net object; this
+# store survives and replays the basis instead of re-running the Farkas
+# elimination.  Bounded LRU so long property-test runs cannot grow it.
+_BASIS_WARM_STORE: "BoundedLRU[Tuple[str, int], List[Dict[str, int]]]" = BoundedLRU(32)
 
 
 def incidence_matrix(net: PetriNet) -> Tuple[np.ndarray, List[str], List[str]]:
@@ -85,15 +94,23 @@ def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, 
     exploding on pathological nets; when the cap is hit the result is still a
     set of valid invariants but may not contain every minimal one.
 
-    The basis is cached on the net's indexed snapshot, so repeated calls for
-    the same structural version (one per scheduled source transition) pay the
-    elimination only once.
+    The basis is cached at two levels: on the net's indexed snapshot (so
+    repeated calls for the same structural version -- one per scheduled
+    source transition -- pay the elimination only once), and in a
+    process-wide warm-start store keyed on the incidence fingerprint, so a
+    structurally identical net *rebuilt* by a config sweep replays the basis
+    instead of re-eliminating.
     """
     cache_key = ("t_invariant_basis", max_rows)
     cache = net.indexed().analysis_cache
     cached = cache.get(cache_key)
     if cached is not None:
         return [dict(invariant) for invariant in cached]
+    warm_key = (incidence_fingerprint(net), max_rows)
+    warmed = _BASIS_WARM_STORE.get(warm_key)
+    if warmed is not None:
+        cache[cache_key] = [dict(invariant) for invariant in warmed]
+        return [dict(invariant) for invariant in warmed]
     matrix, _places, transitions = incidence_matrix(net)
     n_places, n_transitions = matrix.shape
     if n_transitions == 0:
@@ -140,6 +157,7 @@ def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, 
         )
     invariants.sort(key=lambda inv: (len(inv), sorted(inv.items())))
     cache[cache_key] = [dict(invariant) for invariant in invariants]
+    _BASIS_WARM_STORE.put(warm_key, [dict(invariant) for invariant in invariants])
     return invariants
 
 

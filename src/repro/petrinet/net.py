@@ -156,6 +156,26 @@ class PetriNet:
             self._adjacency_dirty = True
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the value of the net, never the derived caches.
+
+        The indexed snapshot and the place adjacency are rebuilt lazily on
+        first use in the receiving process; shipping them would roughly
+        double the payload the parallel scheduler sends to each worker and
+        would drag the ``analysis_cache`` (numpy arrays, invariant bases)
+        across the process boundary.
+        """
+        state = dict(self.__dict__)
+        state["_indexed"] = None
+        state["_indexed_version"] = -1
+        state["_place_in"] = {}
+        state["_place_out"] = {}
+        state["_adjacency_dirty"] = True
+        return state
+
+    # ------------------------------------------------------------------
     # cache management
     # ------------------------------------------------------------------
     def invalidate_caches(self) -> None:

@@ -166,6 +166,26 @@ def reachable_markings(
     return graph.markings
 
 
+def reachable_marking_matrix(
+    net: PetriNet,
+    *,
+    max_nodes: int = 10000,
+    max_tokens_per_place: Optional[int] = None,
+):
+    """Bounded reachable set as a dense NumPy matrix (one row per marking).
+
+    Delegates to the batched backend (:mod:`repro.petrinet.batched`), which
+    expands a whole BFS frontier per step; use this when the caller sweeps
+    the reachable set with matrix queries (covering, bounds, irrelevance)
+    rather than walking the successor structure edge by edge.
+    """
+    from repro.petrinet.batched import reachable_matrix
+
+    return reachable_matrix(
+        net, max_nodes=max_nodes, max_tokens_per_place=max_tokens_per_place
+    )
+
+
 def is_bounded(
     net: PetriNet,
     bound: int,
@@ -176,13 +196,12 @@ def is_bounded(
     report whether any place ever exceeds ``bound`` tokens.
 
     A ``False`` result is definitive (a violating marking was found); a
-    ``True`` result is only as strong as the exploration budget.
+    ``True`` result is only as strong as the exploration budget.  The sweep
+    runs on the batched backend: one matrix of explored markings, one
+    vectorized comparison against the bound.
     """
-    graph = build_reachability_graph(net, max_nodes=max_nodes)
-    for marking in graph.markings:
-        if any(count > bound for count in marking.values()):
-            return False
-    return True
+    matrix = reachable_marking_matrix(net, max_nodes=max_nodes)
+    return not bool((matrix > bound).any())
 
 
 def find_deadlocks(

@@ -12,6 +12,12 @@
   4.3) and executability.
 * :mod:`repro.scheduling.runs` -- runs of a set of schedules against input
   sequences (Definition 4.1) and dynamic executability checking.
+* :mod:`repro.scheduling.parallel` -- per-source EP searches fanned out over
+  a process pool, merged back deterministically.
+* :mod:`repro.scheduling.serialize` -- canonical schedule (de)serialization
+  used by the golden fixtures, the parallel merge and the warm-start cache.
+* :mod:`repro.scheduling.warmstart` -- schedule replay keyed on structural
+  fingerprints, for config sweeps that rebuild identical nets.
 """
 
 from repro.scheduling.schedule import (
@@ -32,8 +38,26 @@ from repro.scheduling.ep import (
     SchedulerOptions,
     SchedulerResult,
     SchedulingFailure,
+    SearchCounters,
     find_all_schedules,
     find_schedule,
+)
+from repro.scheduling.parallel import (
+    aggregate_counters,
+    default_worker_count,
+    find_all_schedules_parallel,
+)
+from repro.scheduling.serialize import (
+    schedule_fingerprint,
+    schedule_from_dict,
+    schedule_summary,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.scheduling.warmstart import (
+    GLOBAL_SCHEDULE_CACHE,
+    ScheduleWarmStartCache,
+    cached_find_schedule,
 )
 from repro.scheduling.independence import (
     involved_places,
@@ -45,6 +69,7 @@ from repro.scheduling.runs import Run, RunError, build_run, check_executability
 
 __all__ = [
     "CompositeCondition",
+    "GLOBAL_SCHEDULE_CACHE",
     "IrrelevanceCriterion",
     "NodeBudget",
     "PlaceBoundCondition",
@@ -53,18 +78,29 @@ __all__ = [
     "Schedule",
     "ScheduleNode",
     "ScheduleValidationError",
+    "ScheduleWarmStartCache",
     "SchedulerOptions",
     "SchedulerResult",
     "SchedulingFailure",
+    "SearchCounters",
     "TerminationCondition",
     "UserBoundCondition",
+    "aggregate_counters",
     "are_mutually_independent",
     "build_run",
+    "cached_find_schedule",
     "check_executability",
     "default_termination",
+    "default_worker_count",
     "find_all_schedules",
+    "find_all_schedules_parallel",
     "find_schedule",
     "involved_places",
     "involved_transitions",
     "is_independent_set",
+    "schedule_fingerprint",
+    "schedule_from_dict",
+    "schedule_summary",
+    "schedule_to_dict",
+    "schedule_to_json",
 ]

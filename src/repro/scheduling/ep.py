@@ -22,7 +22,7 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.petrinet.analysis import StructuralAnalysis
 from repro.petrinet.indexed import IndexedNet, MarkingStore, MarkingVec
@@ -82,6 +82,22 @@ class SearchCounters:
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
+
+    def merge(self, other: "SearchCounters") -> None:
+        """Accumulate another search's counters into this one."""
+        self.nodes_expanded += other.nodes_expanded
+        self.fires += other.fires
+        self.enabled_scans += other.enabled_scans
+        self.enabled_updates += other.enabled_updates
+        self.interned_markings += other.interned_markings
+
+    @classmethod
+    def aggregate(cls, counters: "Iterable[SearchCounters]") -> "SearchCounters":
+        """Sum of several searches' counters (e.g. across worker processes)."""
+        total = cls()
+        for item in counters:
+            total.merge(item)
+        return total
 
 
 @dataclass
@@ -282,6 +298,9 @@ class SchedulerResult:
     elapsed_seconds: float
     failure_reason: Optional[str] = None
     counters: SearchCounters = field(default_factory=SearchCounters)
+    # True when the result was replayed from a warm-start cache rather than
+    # searched (tree_nodes / counters then describe the original search).
+    from_cache: bool = False
 
     @property
     def success(self) -> bool:
@@ -613,13 +632,29 @@ def find_all_schedules(
     options: Optional[SchedulerOptions] = None,
     sources: Optional[Sequence[str]] = None,
     raise_on_failure: bool = False,
+    workers: Optional[int] = None,
 ) -> Dict[str, SchedulerResult]:
     """Find one schedule per uncontrollable source transition.
 
     ``sources`` may restrict / extend the set of transitions scheduled (e.g.
     to include initially-enabled transitions per Property 4.3).
+
+    With ``workers`` greater than one the independent per-source EP searches
+    fan out over a process pool (see :mod:`repro.scheduling.parallel`); the
+    results are value-identical to the serial path, merged back in the same
+    deterministic source order.
     """
     options = options or SchedulerOptions()
+    if workers is not None and workers > 1:
+        from repro.scheduling.parallel import find_all_schedules_parallel
+
+        return find_all_schedules_parallel(
+            net,
+            options=options,
+            sources=sources,
+            workers=workers,
+            raise_on_failure=raise_on_failure,
+        )
     analysis = StructuralAnalysis.of(net)
     targets = list(sources) if sources is not None else net.uncontrollable_sources()
     results: Dict[str, SchedulerResult] = {}

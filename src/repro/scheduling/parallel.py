@@ -1,0 +1,175 @@
+"""Parallel multi-source schedule search.
+
+The paper's compile-time step builds one single-source schedule per
+uncontrollable input (Section 4.2), and the EP/EP_ECS searches for distinct
+sources are completely independent: they share only the immutable net, the
+structural analysis and the T-invariant basis.  This module fans those
+searches out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* the net is pickled **once** and shipped to each worker, which rebuilds
+  the indexed snapshot and the :class:`StructuralAnalysis` locally (dense
+  IDs follow sorted-name order, so every process derives bit-identical
+  search state -- the property PR 1's indexed core was designed around);
+* workers cache the materialised net per structural fingerprint, so a
+  long-lived executor reused across calls (or across property-test
+  examples) pays the unpickle + analysis cost once per net, not per task;
+* schedules travel back in canonical serialized form (never dragging the
+  worker's copy of the net along) and are re-bound to the caller's net
+  object, merged in deterministic source order;
+* per-source :class:`SearchCounters` are preserved exactly and can be
+  aggregated with :func:`aggregate_counters`.
+
+Because the search is deterministic, ``find_all_schedules_parallel`` is an
+observational no-op relative to the serial loop: same schedules (byte
+identical under :func:`~repro.scheduling.serialize.schedule_to_json`),
+same counters, same failure reasons -- only the wall clock changes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.petrinet.analysis import StructuralAnalysis
+from repro.util import BoundedLRU
+from repro.petrinet.fingerprint import structural_fingerprint
+from repro.petrinet.net import PetriNet
+from repro.scheduling.ep import (
+    SchedulerOptions,
+    SchedulerResult,
+    SchedulingFailure,
+    SearchCounters,
+    find_schedule,
+)
+from repro.scheduling.serialize import result_from_record, result_to_record
+
+
+def default_worker_count() -> int:
+    """Default process fan-out: one worker per available CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+# Per-process cache of materialised nets: fingerprint -> (net, analysis).
+# Bounded so a worker serving many different nets (property tests) does not
+# accumulate every snapshot it ever saw.
+_MATERIALISED: "BoundedLRU[str, Tuple[PetriNet, StructuralAnalysis]]" = BoundedLRU(4)
+
+
+def _materialise(
+    fingerprint: str, payload: Optional[bytes]
+) -> Tuple[PetriNet, StructuralAnalysis]:
+    entry = _MATERIALISED.get(fingerprint)
+    if entry is not None:
+        return entry
+    if payload is None:
+        raise RuntimeError(
+            f"worker has no materialised net for fingerprint {fingerprint[:12]}..."
+            " and no payload was shipped"
+        )
+    net: PetriNet = pickle.loads(payload)
+    entry = (net, StructuralAnalysis.of(net))
+    _MATERIALISED.put(fingerprint, entry)
+    return entry
+
+
+def _preload_worker(fingerprint: str, payload: bytes) -> None:
+    """Executor initializer: ship the net once per worker process."""
+    _materialise(fingerprint, payload)
+
+
+def _search_task(
+    fingerprint: str,
+    payload: Optional[bytes],
+    source: str,
+    options_blob: bytes,
+) -> Dict[str, object]:
+    """Run one EP search in the worker; return a net-free result record."""
+    net, analysis = _materialise(fingerprint, payload)
+    options: SchedulerOptions = pickle.loads(options_blob)
+    result = find_schedule(net, source, options=options, analysis=analysis)
+    return result_to_record(result)
+
+
+# ---------------------------------------------------------------------------
+# caller side
+# ---------------------------------------------------------------------------
+
+
+def aggregate_counters(results: Iterable[SchedulerResult]) -> SearchCounters:
+    """Sum the search counters over several per-source results."""
+    return SearchCounters.aggregate(result.counters for result in results)
+
+
+def find_all_schedules_parallel(
+    net: PetriNet,
+    *,
+    options: Optional[SchedulerOptions] = None,
+    sources: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    raise_on_failure: bool = False,
+    executor: Optional[Executor] = None,
+) -> Dict[str, SchedulerResult]:
+    """Schedule every source transition, one EP search per pool task.
+
+    Semantics match the serial :func:`~repro.scheduling.ep.find_all_schedules`
+    exactly -- the result dict is keyed in the same deterministic source
+    order and each :class:`SchedulerResult` is value-identical -- except
+    that with ``raise_on_failure`` every search still runs to completion
+    before the failure of the earliest source (in that order) is raised.
+
+    ``executor`` lets callers amortise pool start-up across many calls
+    (each task then carries the pickled net, which workers cache per
+    structural fingerprint); by default a dedicated pool is created and the
+    net is shipped once per worker via the pool initializer.
+    """
+    options = options or SchedulerOptions()
+    targets = list(sources) if sources is not None else net.uncontrollable_sources()
+    for source in targets:
+        if source not in net.transitions:
+            raise KeyError(f"unknown transition {source!r}")
+    if not targets:
+        return {}
+
+    fingerprint = structural_fingerprint(net)
+    payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
+    options_blob = pickle.dumps(options, protocol=pickle.HIGHEST_PROTOCOL)
+
+    own_pool = executor is None
+    if own_pool:
+        worker_count = min(workers or default_worker_count(), len(targets))
+        executor = ProcessPoolExecutor(
+            max_workers=max(1, worker_count),
+            initializer=_preload_worker,
+            initargs=(fingerprint, payload),
+        )
+        task_payload: Optional[bytes] = None  # shipped by the initializer
+    else:
+        task_payload = payload
+
+    try:
+        futures = [
+            executor.submit(_search_task, fingerprint, task_payload, source, options_blob)
+            for source in targets
+        ]
+        records = [future.result() for future in futures]
+    finally:
+        if own_pool:
+            executor.shutdown()
+
+    results: Dict[str, SchedulerResult] = {}
+    for source, record in zip(targets, records):
+        results[source] = result_from_record(net, source, record)
+    if raise_on_failure:
+        for source in targets:
+            result = results[source]
+            if not result.success:
+                raise SchedulingFailure(
+                    f"no schedule found for {source!r}: {result.failure_reason}"
+                )
+    return results

@@ -83,6 +83,15 @@ class IrrelevanceCriterion(TerminationCondition):
     )
     _degrees_vec: tuple = field(default=(), init=False, repr=False, compare=False)
 
+    def __getstate__(self) -> Dict[str, object]:
+        # The dense-degree cache pins an IndexedNet (and through it the whole
+        # net); strip it so shipping a custom termination condition to a
+        # scheduling worker never drags a second copy of the net along.
+        state = dict(self.__dict__)
+        state["_degrees_vec_for"] = None
+        state["_degrees_vec"] = ()
+        return state
+
     @classmethod
     def for_net(cls, net: PetriNet) -> "IrrelevanceCriterion":
         return cls(degrees=all_place_degrees(net))
@@ -90,6 +99,26 @@ class IrrelevanceCriterion(TerminationCondition):
     @classmethod
     def for_analysis(cls, analysis: StructuralAnalysis) -> "IrrelevanceCriterion":
         return cls(degrees=dict(analysis.degrees))
+
+    def degrees_vec(self, inet) -> tuple:
+        """Dense degree vector for a snapshot (cached per indexed net)."""
+        if self._degrees_vec_for is not inet:
+            self._degrees_vec = tuple(
+                self.degrees.get(name, 0) for name in inet.place_names
+            )
+            self._degrees_vec_for = inet
+        return self._degrees_vec
+
+    def irrelevant_rows(self, inet, matrix, ancestor_vec):
+        """Batched form over a marking matrix (one row per marking).
+
+        Returns a boolean vector marking the rows irrelevant w.r.t.
+        ``ancestor_vec``; the caller supplies rows known to be reachable
+        from the ancestor (condition (a) of Definition 4.5).
+        """
+        from repro.petrinet.batched import irrelevance_mask
+
+        return irrelevance_mask(matrix, ancestor_vec, self.degrees_vec(inet))
 
     def is_irrelevant(self, marking: Marking, ancestor: Marking) -> bool:
         if marking == ancestor:
@@ -107,12 +136,7 @@ class IrrelevanceCriterion(TerminationCondition):
 
     def _holds_vec(self, tree, inet, node: int) -> bool:
         """Dense fast path over marking vectors (no Marking construction)."""
-        if self._degrees_vec_for is not inet:
-            self._degrees_vec = tuple(
-                self.degrees.get(name, 0) for name in inet.place_names
-            )
-            self._degrees_vec_for = inet
-        degrees = self._degrees_vec
+        degrees = self.degrees_vec(inet)
         vec = tree.vec_of(node)
         totals = tree.total_tokens_of
         current_total = totals(node)
@@ -169,6 +193,12 @@ class PlaceBoundCondition(TerminationCondition):
     def uniform(cls, net: PetriNet, bound: int) -> "PlaceBoundCondition":
         return cls(bounds={place: bound for place in net.places})
 
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_bounds_vec_for"] = None
+        state["_bounds_vec"] = ()
+        return state
+
     def _bounded_pids(self, inet) -> tuple:
         if self._bounds_vec_for is not inet:
             entries = []
@@ -179,6 +209,12 @@ class PlaceBoundCondition(TerminationCondition):
             self._bounds_vec = tuple(entries)
             self._bounds_vec_for = inet
         return self._bounds_vec
+
+    def violation_rows(self, inet, matrix):
+        """Batched form: rows of a marking matrix exceeding some bound."""
+        from repro.petrinet.batched import bound_violation_mask
+
+        return bound_violation_mask(matrix, self._bounded_pids(inet))
 
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
         vec_of = getattr(tree, "vec_of", None)
@@ -220,6 +256,12 @@ class UserBoundCondition(TerminationCondition):
         }
         return cls(bounds=bounds)
 
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_bounds_vec_for"] = None
+        state["_bounds_vec"] = ()
+        return state
+
     def _bounded_pids(self, inet) -> tuple:
         if self._bounds_vec_for is not inet:
             self._bounds_vec = tuple(
@@ -229,6 +271,12 @@ class UserBoundCondition(TerminationCondition):
             )
             self._bounds_vec_for = inet
         return self._bounds_vec
+
+    def violation_rows(self, inet, matrix):
+        """Batched form: rows of a marking matrix exceeding a channel bound."""
+        from repro.petrinet.batched import bound_violation_mask
+
+        return bound_violation_mask(matrix, self._bounded_pids(inet))
 
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
         if not self.bounds:

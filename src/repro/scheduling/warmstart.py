@@ -1,0 +1,145 @@
+"""Warm-start cache for schedules, keyed on structural fingerprints.
+
+`VideoAppConfig` sweeps (table1 / table2 / figure20, the benchmarks, the
+examples) repeatedly rebuild *new* net objects with identical structure;
+every per-object cache (``IndexedNet.analysis_cache``, ``lru_cache`` over
+configs) goes cold with them.  The EP search is deterministic, so for a
+structurally identical net -- same places, arcs, weights, initial tokens,
+source kinds, bounds, as captured by
+:func:`repro.petrinet.fingerprint.structural_fingerprint` -- the resulting
+schedule is identical too and can simply be replayed from its canonical
+serialized form instead of re-searched.
+
+The cache stores successful *and* failed outcomes (a net that is not
+single-source schedulable stays that way), remembers the original search
+statistics (tree nodes, counters) and marks replayed results with
+``SchedulerResult.from_cache``.  Only searches under a default termination
+condition are cached: a caller-supplied :class:`TerminationCondition` is an
+arbitrary object we cannot fingerprint, so those calls pass straight
+through.
+
+The companion warm start for the T-invariant basis lives in
+:mod:`repro.petrinet.invariants` (keyed on the incidence fingerprint, which
+is all a basis depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.petrinet.fingerprint import structural_fingerprint
+from repro.util import BoundedLRU
+from repro.petrinet.net import PetriNet
+from repro.scheduling.ep import (
+    SchedulerOptions,
+    SchedulerResult,
+    SchedulingFailure,
+    find_schedule,
+)
+from repro.scheduling.serialize import result_from_record, result_to_record
+
+
+def options_cache_key(options: SchedulerOptions) -> Optional[Tuple]:
+    """Hashable identity of the options, or ``None`` when uncacheable."""
+    if options.termination is not None:
+        return None
+    return (
+        options.single_source,
+        options.use_invariant_heuristic,
+        options.max_nodes,
+        # validate does not change the search outcome, but a schedule cached
+        # under validate=False was never checked; keep the contracts separate
+        options.validate,
+        options.invariant_precheck,
+        options.defer_sources,
+    )
+
+
+@dataclass
+class WarmStartStats:
+    """Hit/miss accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable": self.uncacheable,
+        }
+
+
+class ScheduleWarmStartCache:
+    """LRU of serialized scheduling outcomes keyed on net structure."""
+
+    def __init__(self, capacity: int = 64):
+        self.stats = WarmStartStats()
+        self._store: "BoundedLRU[Tuple, Dict[str, object]]" = BoundedLRU(capacity)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats = WarmStartStats()
+
+    def find_schedule(
+        self,
+        net: PetriNet,
+        source_transition: str,
+        *,
+        options: Optional[SchedulerOptions] = None,
+        raise_on_failure: bool = False,
+    ) -> SchedulerResult:
+        """Drop-in for :func:`repro.scheduling.ep.find_schedule` with replay."""
+        options = options or SchedulerOptions()
+        opts_key = options_cache_key(options)
+        if opts_key is None:
+            self.stats.uncacheable += 1
+            return find_schedule(
+                net,
+                source_transition,
+                options=options,
+                raise_on_failure=raise_on_failure,
+            )
+        key = (structural_fingerprint(net), source_transition, opts_key)
+        record = self._store.get(key)
+        if record is not None:
+            self.stats.hits += 1
+            # from_cache marks the replay; the record keeps the original
+            # search's wall clock and counters, which is what consumers
+            # report (PfcExperimentSetup.scheduling_seconds) -- 0.0 would
+            # corrupt those tables
+            result = result_from_record(net, source_transition, record, from_cache=True)
+        else:
+            self.stats.misses += 1
+            result = find_schedule(net, source_transition, options=options)
+            self._store.put(key, result_to_record(result))
+        if raise_on_failure and not result.success:
+            raise SchedulingFailure(
+                f"no schedule found for {source_transition!r}: {result.failure_reason}"
+            )
+        return result
+
+
+#: Process-wide default instance used by the experiment harnesses.
+GLOBAL_SCHEDULE_CACHE = ScheduleWarmStartCache()
+
+
+def cached_find_schedule(
+    net: PetriNet,
+    source_transition: str,
+    *,
+    options: Optional[SchedulerOptions] = None,
+    raise_on_failure: bool = False,
+) -> SchedulerResult:
+    """Module-level convenience over :data:`GLOBAL_SCHEDULE_CACHE`."""
+    return GLOBAL_SCHEDULE_CACHE.find_schedule(
+        net,
+        source_transition,
+        options=options,
+        raise_on_failure=raise_on_failure,
+    )

@@ -1,0 +1,50 @@
+"""Small shared utilities with no dependencies on the rest of the package."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class BoundedLRU(Generic[K, V]):
+    """A dictionary with least-recently-used eviction beyond ``capacity``.
+
+    Backs the process-wide warm-start stores (materialised nets in the
+    scheduling workers, T-invariant bases, serialized schedules): ``get``
+    refreshes recency, ``put`` inserts and evicts the stalest entries.
+    """
+
+    __slots__ = ("capacity", "_store")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._store: "OrderedDict[K, V]" = OrderedDict()
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        value = self._store.get(key, default)
+        if key in self._store:
+            self._store.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._store)

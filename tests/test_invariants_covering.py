@@ -133,3 +133,104 @@ def test_build_candidate_invariant_problem():
     assert solution is not None
     # the offending invariant needs the helper to be feasible
     assert problem.is_feasible(solution)
+
+
+# ---------------------------------------------------------------------------
+# binate covering: bitmask-solver edge cases (pinning the PR 1 rewrite)
+# ---------------------------------------------------------------------------
+
+
+def test_binate_covering_empty_clause_set():
+    """No rows: everything is feasible and minimisation drops every column."""
+    problem = BinateCoveringProblem(columns=["a", "b", "c"])
+    solution = solve_binate_covering(problem)
+    assert solution == set()
+    assert problem.is_feasible(solution)
+    # an explicit initial selection is also already feasible and minimises away
+    assert solve_binate_covering(problem, initial={"a"}) == set()
+
+
+def test_binate_covering_no_columns():
+    problem = BinateCoveringProblem(columns=[])
+    assert solve_binate_covering(problem) == set()
+
+
+def test_binate_covering_single_positive_literal_rows_are_implications():
+    """Rows are implication clauses: a pure-positive row {x: 1} is satisfied
+    by the *empty* selection (no selected 0-column), it does not force x.
+    Mandatory columns are the caller's job (the ``initial`` selection plus
+    the ``solution & mandatory`` check in the heuristics layer)."""
+    problem = BinateCoveringProblem(columns=["x", "y"])
+    problem.add_row({"x": 1})
+    assert problem.row_satisfied({"x": 1}, set())
+    assert solve_binate_covering(problem, initial=set()) == set()
+    # starting from everything selected, minimisation still drops to empty
+    assert solve_binate_covering(problem) == set()
+
+
+def test_binate_covering_single_negative_literal_bans_the_column():
+    """A row {x: 0} with no positive literal: x can never stay selected."""
+    problem = BinateCoveringProblem(columns=["x", "y"])
+    problem.add_row({"x": 0})
+    solution = solve_binate_covering(problem)  # default initial selects all
+    assert solution is not None
+    assert "x" not in solution
+    assert problem.is_feasible(solution)
+    assert not problem.is_feasible({"x"})
+    assert not problem.is_feasible({"x", "y"})
+
+
+def test_binate_covering_unsatisfiable_for_the_greedy_repair():
+    """Instances where the repair moves oscillate return None.
+
+    {a: 0, b: 1} (a needs b) plus {b: 0} (b banned): from any selection
+    containing a, move 1 adds b, move 2 removes b, forever -- the iteration
+    cap trips and the solver reports no solution even though the empty
+    selection is trivially feasible.  This pins the *heuristic* nature of
+    the solver; callers must tolerate None on feasible instances.
+    """
+    problem = BinateCoveringProblem(columns=["a", "b"])
+    problem.add_row({"a": 0, "b": 1})
+    problem.add_row({"b": 0})
+    assert solve_binate_covering(problem, initial={"a"}) is None
+    assert solve_binate_covering(problem) is None
+    # ... although the instance itself is feasible:
+    assert problem.is_feasible(set())
+    assert problem.is_feasible({"b"}) is False  # b stays banned
+    assert solve_binate_covering(problem, initial=set()) == set()
+
+
+def test_binate_covering_mutual_dependency_survives_minimisation():
+    """a needs b and b needs a: starting from {a}, move 1 pulls b in, and
+    neither column can be dropped by the minimisation pass (removing either
+    violates the other's row)."""
+    problem = BinateCoveringProblem(columns=["a", "b"])
+    problem.add_row({"a": 0, "b": 1})    # a needs b
+    problem.add_row({"b": 0, "a": 1})    # b needs a
+    solution = solve_binate_covering(problem, initial={"a"})
+    assert solution == {"a", "b"}
+    assert problem.is_feasible(solution)
+
+
+def test_binate_covering_weights_steer_the_repair_choice():
+    """When two helpers fix the same violated row, the cheaper one is added."""
+
+    def solve_with(weights):
+        problem = BinateCoveringProblem(columns=["a", "b", "c"], weights=weights)
+        problem.add_row({"a": 0, "b": 1, "c": 1})  # a needs b or c
+        problem.add_row({"b": 0, "a": 1})          # interlocks: keep a around
+        problem.add_row({"c": 0, "a": 1})
+        return solve_binate_covering(problem, initial={"a"})
+
+    assert solve_with({"b": 10}) == {"a", "c"}
+    assert solve_with({"c": 10}) == {"a", "b"}
+
+
+def test_binate_covering_row_satisfaction_semantics():
+    """row_satisfied: a selected 1-column wins, else no selected 0-column."""
+    problem = BinateCoveringProblem(columns=["a", "b"])
+    row = {"a": 0, "b": 1}
+    assert problem.row_satisfied(row, {"b"})
+    assert problem.row_satisfied(row, {"a", "b"})
+    assert problem.row_satisfied(row, set())
+    assert not problem.row_satisfied(row, {"a"})

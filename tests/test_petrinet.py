@@ -239,3 +239,38 @@ def test_reachable_markings_wrapper():
     net = paper_nets.figure_5()
     markings = reachable_markings(net, max_nodes=100, max_tokens_per_place=1)
     assert net.initial_marking in markings
+
+
+def test_structural_analysis_enabled_ecss_detects_stale_snapshot():
+    """The enabled_ecss fast path must not trust a snapshot the sanctioned
+    mutators (add_place/add_arc) made stale: they bump the version but leave
+    the old IndexedNet object in place."""
+    from repro.petrinet.analysis import StructuralAnalysis
+
+    net = paper_nets.figure_5()
+    analysis = StructuralAnalysis.of(net)
+    before = [sorted(ecs) for ecs in analysis.enabled_ecss(net.initial_marking)]
+    assert ["a"] in before  # the source is enabled while unguarded
+    net.add_place("gate")
+    net.add_arc("gate", "a")  # now 'a' needs a token the marking lacks
+    after = [sorted(ecs) for ecs in analysis.enabled_ecss(net.initial_marking)]
+    truth = [
+        sorted(ecs)
+        for ecs in StructuralAnalysis.of(net).enabled_ecss(net.initial_marking)
+    ]
+    assert after == truth
+    assert ["a"] not in after
+
+
+def test_bounded_lru_eviction_and_recency():
+    from repro.util import BoundedLRU
+
+    lru = BoundedLRU(2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1  # refreshes recency: 'b' is now the stalest
+    lru.put("c", 3)
+    assert "b" not in lru and "a" in lru and "c" in lru
+    assert len(lru) == 2
+    with pytest.raises(ValueError):
+        BoundedLRU(0)

@@ -5,10 +5,12 @@
 * Ablation: T-invariant-guided ECS ordering vs. the plain tie-break ordering.
 
 Besides the pytest-benchmark harnesses, the module is a CLI that times the
-serial vs. parallel ``find_all_schedules`` paths and writes the comparison
-to ``BENCH_scheduler.json``:
+serial vs. parallel ``find_all_schedules`` paths -- for the scalar and the
+batched EP-search backend -- and writes the comparison to
+``BENCH_scheduler.json``:
 
     PYTHONPATH=src python benchmarks/bench_scheduler.py --workers 4
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --backend batched
     PYTHONPATH=src python benchmarks/bench_scheduler.py --quick   # CI smoke
 """
 
@@ -86,7 +88,7 @@ def test_divisors_scheduling(benchmark):
 
 
 # ---------------------------------------------------------------------------
-# CLI: serial vs. parallel find_all_schedules -> BENCH_scheduler.json
+# CLI: serial vs. parallel, scalar vs. batched -> BENCH_scheduler.json
 # ---------------------------------------------------------------------------
 
 
@@ -97,34 +99,60 @@ def _results_signature(results) -> Dict[str, Optional[str]]:
     }
 
 
-def _bench_case(name, net, *, workers: int, repeats: int) -> Dict[str, object]:
-    """Best-of-``repeats`` wall clock for the serial and parallel paths."""
-    serial_times: List[float] = []
-    parallel_times: List[float] = []
-    serial = parallel = None
-    for _ in range(repeats):
-        start = time.monotonic()
-        serial = find_all_schedules(net)
-        serial_times.append(time.monotonic() - start)
-        start = time.monotonic()
-        parallel = find_all_schedules(net, workers=workers)
-        parallel_times.append(time.monotonic() - start)
-    identical = _results_signature(serial) == _results_signature(parallel)
-    best_serial = min(serial_times)
-    best_parallel = min(parallel_times)
-    return {
+def _bench_case(
+    name, net, *, backends: Sequence[str], workers: int, repeats: int
+) -> Dict[str, object]:
+    """Best-of-``repeats`` wall clock per backend, serial and parallel.
+
+    Every (backend, serial/parallel) combination must produce byte-identical
+    schedules -- ``identical_schedules`` records the cross-check.
+    """
+    per_backend: Dict[str, Dict[str, object]] = {}
+    signatures = []
+    sources = 0
+    for backend in backends:
+        serial_times: List[float] = []
+        parallel_times: List[float] = []
+        serial = parallel = None
+        for _ in range(repeats):
+            start = time.monotonic()
+            serial = find_all_schedules(net, backend=backend)
+            serial_times.append(time.monotonic() - start)
+            start = time.monotonic()
+            parallel = find_all_schedules(net, workers=workers, backend=backend)
+            parallel_times.append(time.monotonic() - start)
+        signatures.append(_results_signature(serial))
+        signatures.append(_results_signature(parallel))
+        sources = len(serial)
+        best_serial = min(serial_times)
+        best_parallel = min(parallel_times)
+        per_backend[backend] = {
+            "serial_seconds": round(best_serial, 4),
+            "parallel_seconds": round(best_parallel, 4),
+            "parallel_speedup": (
+                round(best_serial / best_parallel, 3) if best_parallel else None
+            ),
+        }
+    row: Dict[str, object] = {
         "case": name,
-        "sources": len(serial),
+        "sources": sources,
         "repeats": repeats,
-        "serial_seconds": round(best_serial, 4),
-        "parallel_seconds": round(best_parallel, 4),
-        "speedup": round(best_serial / best_parallel, 3) if best_parallel else None,
-        "identical_schedules": identical,
+        "backends": per_backend,
+        "identical_schedules": all(sig == signatures[0] for sig in signatures),
     }
+    if "scalar" in per_backend and "batched" in per_backend:
+        scalar_s = per_backend["scalar"]["serial_seconds"]
+        batched_s = per_backend["batched"]["serial_seconds"]
+        row["batched_speedup"] = round(scalar_s / batched_s, 3) if batched_s else None
+    return row
 
 
 def run_cli_bench(
-    *, workers: int, quick: bool = False, repeats: Optional[int] = None
+    *,
+    workers: int,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    backends: Sequence[str] = ("scalar", "batched"),
 ) -> Dict[str, object]:
     repeats = repeats or (1 if quick else 3)
     cases = [
@@ -135,11 +163,12 @@ def run_cli_bench(
     if not quick:
         cases.insert(1, ("pfc_10x10", build_video_system(VideoAppConfig(10, 10)).net))
     rows = [
-        _bench_case(name, net, workers=workers, repeats=repeats)
+        _bench_case(name, net, backends=backends, workers=workers, repeats=repeats)
         for name, net in cases
     ]
     return {
-        "benchmark": "find_all_schedules serial vs parallel",
+        "benchmark": "find_all_schedules: serial vs parallel, scalar vs batched",
+        "backends": list(backends),
         "workers": workers,
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
@@ -150,13 +179,20 @@ def run_cli_bench(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Time serial vs parallel find_all_schedules and emit JSON."
+        description="Time serial/parallel and scalar/batched find_all_schedules, emit JSON."
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=max(2, os.cpu_count() or 1),
         help="process-pool width for the parallel path (default: max(2, cpus))",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("scalar", "batched", "auto", "both"),
+        default="both",
+        help="EP-search backend to time; 'both' runs scalar and batched and "
+        "reports the batched speedup (default: both)",
     )
     parser.add_argument(
         "--quick",
@@ -173,20 +209,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="where to write the JSON report (default: ./BENCH_scheduler.json)",
     )
     args = parser.parse_args(argv)
-    report = run_cli_bench(workers=args.workers, quick=args.quick, repeats=args.repeats)
+    backends = ("scalar", "batched") if args.backend == "both" else (args.backend,)
+    report = run_cli_bench(
+        workers=args.workers, quick=args.quick, repeats=args.repeats, backends=backends
+    )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     for row in report["cases"]:
+        timings = " ".join(
+            f"{backend}: serial={data['serial_seconds']:.3f}s "
+            f"parallel[{args.workers}]={data['parallel_seconds']:.3f}s"
+            for backend, data in row["backends"].items()
+        )
+        extra = (
+            f" batched_speedup={row['batched_speedup']}x"
+            if "batched_speedup" in row
+            else ""
+        )
         print(
-            f"{row['case']:<18} sources={row['sources']:<3} "
-            f"serial={row['serial_seconds']:.3f}s "
-            f"parallel[{args.workers}]={row['parallel_seconds']:.3f}s "
-            f"speedup={row['speedup']}x identical={row['identical_schedules']}"
+            f"{row['case']:<18} sources={row['sources']:<3} {timings}"
+            f"{extra} identical={row['identical_schedules']}"
         )
     print(f"wrote {args.output}")
     if not all(row["identical_schedules"] for row in report["cases"]):
-        print("ERROR: parallel schedules diverge from serial", file=sys.stderr)
+        print("ERROR: schedules diverge across backends/parallelism", file=sys.stderr)
         return 1
     return 0
 

@@ -175,6 +175,75 @@ def random_marked_graph(
     return net
 
 
+def random_choice_net(
+    branch_length: int = 3,
+    *,
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+) -> PetriNet:
+    """A data-dependent choice diamond feeding a consumer chain.
+
+    An uncontrollable ``src`` marks a choice place whose two successor
+    branches form one *equal conflict set* (identical presets, so the
+    environment resolves the branch): each branch walks a random-length
+    transition chain, emits a random-but-branch-independent number of tokens
+    into a channel, and returns the chooser's program counter.  A consumer
+    drains the channel one token (or, sometimes, two) at a time.
+
+    The family exercises exactly the scheduler paths the single-ECS marked
+    graphs cannot: multi-transition ECSs (EP_ECS must find entering points
+    through *both* branches), nodes with several enabled ECSs (the one-step
+    lookahead and its batched frontier form), weighted arcs, and -- when the
+    drawn emission/consumption counts do not divide evenly -- schedules that
+    fail, which the differential harness pins too.  Randomness follows the
+    same explicit-``rng`` contract as :func:`random_marked_graph`.
+    """
+    if branch_length < 1:
+        raise ValueError("branches need at least one transition")
+    if rng is None:
+        rng = random.Random(seed)
+        suffix = str(seed)
+    else:
+        suffix = "rng"
+    net = PetriNet(name=f"choice_net_{branch_length}_{suffix}")
+    net.add_transition("src", source_kind=SourceKind.UNCONTROLLABLE)
+    net.add_place("p_src")
+    net.add_arc("src", "p_src")
+    net.add_place("p_pc", 1)
+    net.add_place("ch")
+    emits = rng.randint(1, 2)
+    # mostly a unit read; sometimes a matching burst read, rarely an
+    # oversized one (emission and consumption then disagree -> harder or
+    # unschedulable searches, deliberately included)
+    consume_weight = rng.choice((1, 1, 1, emits, 3))
+    for branch in (0, 1):
+        length = rng.randint(1, branch_length)
+        previous: Optional[str] = None
+        for step in range(length):
+            transition = f"b{branch}_t{step}"
+            net.add_transition(transition, process="chooser")
+            if step == 0:
+                net.add_arc("p_src", transition)
+                net.add_arc("p_pc", transition)
+            else:
+                assert previous is not None
+                net.add_arc(previous, transition)
+            if step == length - 1:
+                net.add_arc(transition, "p_pc")
+                net.add_arc(transition, "ch", emits)
+            else:
+                place = f"b{branch}_p{step}"
+                net.add_place(place)
+                net.add_arc(transition, place)
+                previous = place
+    net.add_place("p_cons_pc", 1)
+    net.add_transition("cons", process="consumer")
+    net.add_arc("ch", "cons", consume_weight)
+    net.add_arc("p_cons_pc", "cons")
+    net.add_arc("cons", "p_cons_pc")
+    return net
+
+
 def random_multi_source_net(
     sources: int,
     transitions: int,

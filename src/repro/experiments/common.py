@@ -118,7 +118,9 @@ class PfcExperimentSetup:
 
 
 @lru_cache(maxsize=4)
-def _cached_setup(config: VideoAppConfig, max_nodes: int) -> PfcExperimentSetup:
+def _cached_setup(
+    config: VideoAppConfig, max_nodes: int, backend: str
+) -> PfcExperimentSetup:
     system = build_video_system(config)
     # Warm-start by structural fingerprint: a geometry scheduled once in this
     # process (even on a different net object -- tests, benchmarks and the
@@ -127,7 +129,7 @@ def _cached_setup(config: VideoAppConfig, max_nodes: int) -> PfcExperimentSetup:
     result = cached_find_schedule(
         system.net,
         "src.controller.init",
-        options=SchedulerOptions(max_nodes=max_nodes),
+        options=SchedulerOptions(max_nodes=max_nodes, backend=backend),
         raise_on_failure=True,
     )
     assert result.schedule is not None
@@ -146,6 +148,12 @@ def build_pfc_setup(
     config: VideoAppConfig = FAST_CONFIG,
     *,
     max_nodes: int = 100_000,
+    backend: str = "auto",
 ) -> PfcExperimentSetup:
-    """Build (or fetch the cached) experiment setup for a frame geometry."""
-    return _cached_setup(config, max_nodes)
+    """Build (or fetch the cached) experiment setup for a frame geometry.
+
+    ``backend`` selects the EP-search hot-loop implementation (scalar /
+    batched / auto); the resulting schedule is backend-independent, so the
+    knob only matters for the recorded ``scheduling_seconds``.
+    """
+    return _cached_setup(config, max_nodes, backend)

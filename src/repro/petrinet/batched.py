@@ -32,6 +32,16 @@ from repro.petrinet.net import PetriNet
 _CONSUME_KEY = ("batched", "consume_matrix")
 _DELTA_KEY = ("batched", "delta_matrix")
 
+#: Token counts at or above this magnitude are rejected by the frontier
+#: primitives: one more firing could leave the exact-int semantics of the
+#: facade and silently wrap in int64 arithmetic.  The scheduling backends
+#: fall back to the (unbounded Python int) scalar path beyond it.
+FRONTIER_TOKEN_GUARD = 2**62
+
+
+class FrontierOverflowError(OverflowError):
+    """A marking holds token counts too large for the int64 matrix backend."""
+
 
 def consumption_matrix(inet: IndexedNet) -> np.ndarray:
     """``W[t, p] = F(p, t)``: tokens transition ``t`` needs from place ``p``."""
@@ -105,6 +115,59 @@ def enabled_mask(inet: IndexedNet, matrix: np.ndarray) -> np.ndarray:
 def fire_rows(inet: IndexedNet, matrix: np.ndarray, tid: int) -> np.ndarray:
     """Fire ``tid`` at every row (caller guarantees enabledness)."""
     return matrix + delta_matrix(inet)[tid]
+
+
+# ---------------------------------------------------------------------------
+# frontier expansion (the EP-search hot loop)
+# ---------------------------------------------------------------------------
+
+
+def expand_children(
+    inet: IndexedNet, vec: MarkingVec, tids: Sequence[int]
+) -> np.ndarray:
+    """Child markings of one node for several transitions at once.
+
+    Returns a ``(len(tids), n_places)`` matrix whose row ``i`` is ``vec``
+    after firing ``tids[i]`` -- the whole search frontier of one tree node
+    as a single broadcast add against the dense delta matrix.  The caller
+    guarantees enabledness (for the EP search, candidates come from enabled
+    ECSs whose member transitions share one preset).
+
+    Raises :class:`FrontierOverflowError` when a token count is at or above
+    :data:`FRONTIER_TOKEN_GUARD`, where int64 arithmetic could wrap; callers
+    then take the exact scalar path instead.
+    """
+    base = np.asarray(vec, dtype=np.int64)
+    if base.size and int(np.abs(base).max()) >= FRONTIER_TOKEN_GUARD:
+        raise FrontierOverflowError(
+            "marking holds token counts >= 2**62; use the scalar backend"
+        )
+    return base + delta_matrix(inet)[list(tids)]
+
+
+def irrelevance_frontier_mask(
+    children: np.ndarray, ancestors: np.ndarray, degrees: np.ndarray
+) -> np.ndarray:
+    """Per child: irrelevant (Definition 4.5) w.r.t. *any* ancestor row.
+
+    ``children`` is the ``(n_children, n_places)`` frontier of one node,
+    ``ancestors`` the ``(depth, n_places)`` markings on the path from the
+    root to that node (any row order), ``degrees`` the dense place-degree
+    vector.  A child is irrelevant w.r.t. an ancestor when it covers it,
+    differs from it, and only grew on places already saturated in the
+    ancestor -- evaluated for all (child, ancestor) pairs in one broadcast
+    instead of the scalar per-ancestor walk.
+    """
+    if children.shape[0] == 0 or ancestors.shape[0] == 0:
+        return np.zeros(children.shape[0], dtype=bool)
+    ge = children[:, None, :] >= ancestors[None, :, :]
+    gt = children[:, None, :] > ancestors[None, :, :]
+    cover = ge.all(axis=2)
+    # under cover, "differs" is equivalent to "grew somewhere"
+    differs = gt.any(axis=2)
+    unsaturated = ancestors[None, :, :] < degrees[None, None, :]
+    grew_unsaturated = (gt & unsaturated).any(axis=2)
+    return (cover & differs & ~grew_unsaturated).any(axis=1)
 
 
 # ---------------------------------------------------------------------------

@@ -59,6 +59,22 @@ class MarkingStore:
             return vec
         return canonical
 
+    def intern_many(self, vecs: Iterable[MarkingVec]) -> List[MarkingVec]:
+        """Intern a whole frontier in one pass (order preserved).
+
+        Used by the batched EP backend to admit the surviving children of a
+        node expansion together instead of one dict probe per ``add_child``.
+        """
+        store = self._store
+        result: List[MarkingVec] = []
+        for vec in vecs:
+            canonical = store.get(vec)
+            if canonical is None:
+                store[vec] = vec
+                canonical = vec
+            result.append(canonical)
+        return result
+
     def __len__(self) -> int:
         return len(self._store)
 

@@ -15,13 +15,34 @@ only if one exists in the pruned reachability tree.
 After a successful search, post-processing retains only the chosen ECSs and
 closes cycles by merging each leaf with the ancestor carrying the same
 marking, yielding a :class:`~repro.scheduling.schedule.Schedule`.
+
+Two observationally equivalent backends drive the hot loop
+(``SchedulerOptions.backend``):
+
+* ``"scalar"`` walks one transition at a time, exactly as the paper states
+  the algorithm;
+* ``"batched"`` expands a whole node's frontier at once -- the candidate
+  transitions of every enabled ECS become one matrix of child markings, the
+  marking-dependent termination conditions (irrelevance, place / channel
+  bounds, depth) become boolean masks against the dense path-ancestor
+  matrix, and the surviving children are interned in one
+  :class:`MarkingStore` pass.  Node selection, ECS ordering and
+  await-insertion stay scalar and deterministic, so both backends produce
+  byte-identical canonical schedules and identical search counters (modulo
+  the batched-only ``batched_expansions``); ``tests/test_batched_ep.py``
+  pins the equivalence differentially.
+
+``"auto"`` (the default) picks the batched backend whenever it applies: the
+termination condition must decompose into frontier masks plus node budgets
+(:func:`~repro.scheduling.termination.split_frontier_conditions`) and token
+counts must stay safely inside int64 (see :func:`resolve_backend_for`).
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.petrinet.analysis import StructuralAnalysis
@@ -38,9 +59,16 @@ from repro.scheduling.heuristics import (
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.termination import (
     CompositeCondition,
+    FrontierSplit,
     TerminationCondition,
     default_termination,
+    split_frontier_conditions,
 )
+
+try:  # the batched backend needs NumPy; the scalar one never touches it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a baked-in test dependency
+    _np = None
 
 ECS = FrozenSet[str]
 
@@ -68,6 +96,10 @@ class SchedulerOptions:
     # entering point.  This keeps schedules small (few await nodes) and
     # avoids deferring part of a reaction to the next environment event.
     defer_sources: bool = True
+    # Hot-loop implementation: "scalar" | "batched" | "auto".  The backends
+    # are observationally equivalent (same schedules, same counters modulo
+    # batched_expansions); "auto" resolves per search via resolve_backend_for.
+    backend: str = "auto"
 
 
 @dataclass
@@ -79,6 +111,14 @@ class SearchCounters:
     enabled_scans: int = 0
     enabled_updates: int = 0
     interned_markings: int = 0
+    # batched-backend only: whole-frontier expansions (matrix fire + masks).
+    # Every other counter is backend-independent by the equivalence contract.
+    batched_expansions: int = 0
+
+    #: counters that legitimately differ between the scalar and batched
+    #: backends; everything else must match exactly (the differential tests
+    #: compare ``as_dict`` minus these keys).
+    BACKEND_ONLY = ("batched_expansions",)
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -90,6 +130,7 @@ class SearchCounters:
         self.enabled_scans += other.enabled_scans
         self.enabled_updates += other.enabled_updates
         self.interned_markings += other.interned_markings
+        self.batched_expansions += other.batched_expansions
 
     @classmethod
     def aggregate(cls, counters: "Iterable[SearchCounters]") -> "SearchCounters":
@@ -155,6 +196,44 @@ class SchedulingTree:
         self._path: List[int] = []
         self._markings_on_path: Dict[MarkingVec, int] = {}
         self._path_firings: Dict[str, int] = {}
+        # dense mirrors of the path state (markings matrix, per-tid firing
+        # counts), maintained only for the batched backend (enable_path_matrix)
+        self._path_matrix = None
+        self._fired_by_tid = None
+
+    def enable_path_matrix(self) -> None:
+        """Mirror the DFS-path state into dense int64 arrays.
+
+        The batched backend evaluates termination masks for whole frontiers
+        against the marking matrix (``path_matrix()``) and feeds the per-tid
+        firing counts (``fired_vector()``) to the invariant-guided ordering
+        heuristic; the scalar backend never pays for the bookkeeping.
+        """
+        capacity = max(64, 2 * len(self._path))
+        self._path_matrix = _np.zeros(
+            (capacity, len(self.inet.place_names)), dtype=_np.int64
+        )
+        self._fired_by_tid = _np.zeros(
+            len(self.inet.transition_names), dtype=_np.int64
+        )
+        for index, node in enumerate(self._path):
+            tree_node = self.nodes[node]
+            self._path_matrix[index, :] = tree_node.vec
+            if tree_node.tid is not None:
+                self._fired_by_tid[tree_node.tid] += 1
+
+    def path_matrix(self):
+        """Markings on the current DFS path, root first (dense rows)."""
+        return self._path_matrix[: len(self._path)]
+
+    def fired_vector(self):
+        """Per-transition-ID firing counts of the current path (live view).
+
+        ``None`` unless :meth:`enable_path_matrix` was called.  Exact dense
+        twin of :meth:`path_firings`; consumers must not hold on to it
+        across tree operations.
+        """
+        return self._fired_by_tid
 
     # -- construction -----------------------------------------------------
     def add_root(self, vec: MarkingVec) -> int:
@@ -242,6 +321,18 @@ class SchedulingTree:
     def push(self, node: int) -> None:
         tree_node = self.nodes[node]
         self._path.append(node)
+        if self._path_matrix is not None:
+            row = len(self._path) - 1
+            if row >= self._path_matrix.shape[0]:
+                grown = _np.zeros(
+                    (2 * self._path_matrix.shape[0], self._path_matrix.shape[1]),
+                    dtype=_np.int64,
+                )
+                grown[: self._path_matrix.shape[0]] = self._path_matrix
+                self._path_matrix = grown
+            self._path_matrix[row, :] = tree_node.vec
+            if tree_node.tid is not None:
+                self._fired_by_tid[tree_node.tid] += 1
         if tree_node.vec not in self._markings_on_path:
             self._markings_on_path[tree_node.vec] = node
         if tree_node.transition is not None:
@@ -253,6 +344,8 @@ class SchedulingTree:
         popped = self._path.pop()
         assert popped == node
         tree_node = self.nodes[node]
+        if self._fired_by_tid is not None and tree_node.tid is not None:
+            self._fired_by_tid[tree_node.tid] -= 1
         if self._markings_on_path.get(tree_node.vec) == node:
             del self._markings_on_path[tree_node.vec]
         if tree_node.transition is not None:
@@ -307,6 +400,72 @@ class SchedulerResult:
         return self.schedule is not None
 
 
+BACKENDS = ("auto", "scalar", "batched")
+
+
+def resolve_backend_for(
+    net: PetriNet,
+    options: SchedulerOptions,
+    termination: Optional[TerminationCondition] = None,
+) -> str:
+    """Resolve ``options.backend`` to the concrete backend a search will use.
+
+    ``"batched"`` applies when NumPy is importable, the termination condition
+    decomposes into frontier masks plus node budgets, and the worst-case
+    token count (initial tokens plus one delta per possible tree node) stays
+    below the int64 guard -- otherwise the search falls back to ``"scalar"``,
+    whose Python-int arithmetic is exact at any magnitude.  The resolution is
+    deterministic in (net structure, options), so parallel workers reach the
+    same decision as the caller.
+    """
+    requested = options.backend
+    if requested not in BACKENDS:
+        raise ValueError(f"unknown scheduler backend {requested!r}; pick one of {BACKENDS}")
+    if requested == "scalar":
+        return "scalar"
+    if _np is None:
+        return "scalar"
+    if termination is None:
+        termination = options.termination or default_termination(
+            net, max_nodes=options.max_nodes
+        )
+    if split_frontier_conditions(termination) is None:
+        return "scalar"
+    from repro.petrinet.batched import FRONTIER_TOKEN_GUARD
+
+    inet = net.indexed()
+    max_delta = max(
+        (abs(d) for sparse in inet.delta for _pid, d in sparse), default=0
+    )
+    max_initial = max(inet.initial_vec, default=0)
+    # The tree never outgrows options.max_nodes (EP_ECS checks before every
+    # add_child), so no marking can exceed this bound along any path.
+    if max_initial + (options.max_nodes + 8) * max_delta >= FRONTIER_TOKEN_GUARD:
+        return "scalar"
+    return "batched"
+
+
+class _Frontier:
+    """One node's batched expansion: child vectors plus termination bits.
+
+    ``segments`` maps each expanded ECS to its ``[start, end)`` slice of
+    ``vecs`` / ``pruned`` (candidates are laid out ECS by ECS, transitions in
+    sorted-name order -- the exact order the scalar loop walks).
+    """
+
+    __slots__ = ("vecs", "pruned", "segments")
+
+    def __init__(
+        self,
+        vecs: List[MarkingVec],
+        pruned: List[bool],
+        segments: Dict[ECS, Tuple[int, int]],
+    ):
+        self.vecs = vecs
+        self.pruned = pruned
+        self.segments = segments
+
+
 class _EPSearch:
     """One run of the EP/EP_ECS search for a given source transition."""
 
@@ -354,10 +513,109 @@ class _EPSearch:
             min(token_delta[tindex[t]] for t in ecs)
             for ecs in self.analysis.partition
         )
+        # frontier layout caches: per-ECS sorted transition names and IDs
+        self._sorted_ecs = tuple(
+            tuple(sorted(ecs)) for ecs in self.analysis.partition
+        )
+        self._ecs_tids = tuple(
+            tuple(tindex[t] for t in names) for names in self._sorted_ecs
+        )
+        self._ecs_id_of = {
+            ecs: ecs_id for ecs_id, ecs in enumerate(self.analysis.partition)
+        }
+        self.backend = resolve_backend_for(net, options, self.termination)
+        self._split: Optional[FrontierSplit] = None
+        if self.backend == "batched":
+            self._split = split_frontier_conditions(self.termination)
+            assert self._split is not None  # guaranteed by resolve_backend_for
+            self.tree.enable_path_matrix()
 
     def _fire(self, tid: int, vec) -> tuple:
         self.counters.fires += 1
         return self.inet.fire_vec(tid, vec)
+
+    # -- batched frontier expansion -----------------------------------------
+    def _expand(
+        self, vec: MarkingVec, tids: Sequence[int], child_depth: int
+    ) -> Tuple[List[MarkingVec], List[bool]]:
+        """Children of one node for ``tids`` plus their termination bits.
+
+        One broadcast against the delta matrix produces every child marking;
+        the maskable termination conditions are evaluated for the whole
+        frontier against the dense path-ancestor matrix.  The returned
+        ``pruned[i]`` equals ``termination.holds`` on a node carrying
+        ``vecs[i]`` at ``child_depth``, except for the node-budget leaves,
+        which the caller checks per node (:meth:`FrontierSplit.budget_holds`)
+        because a child's index is only known when it is created.
+        """
+        from repro.petrinet.batched import expand_children
+
+        self.counters.batched_expansions += 1
+        rows = expand_children(self.inet, vec, tids)
+        ancestors = self.tree.path_matrix()
+        mask = None
+        for condition in self._split.maskable:
+            bits = condition.frontier_mask(self.inet, ancestors, rows, child_depth)
+            mask = bits if mask is None else (mask | bits)
+        vecs = [tuple(row) for row in rows.tolist()]
+        pruned = mask.tolist() if mask is not None else [False] * len(vecs)
+        return vecs, pruned
+
+    def _batched_lookahead(
+        self, v: int, enabled_ids: Sequence[int], enabled: Sequence[ECS]
+    ) -> Tuple[_Frontier, Dict[ECS, ECSLookahead]]:
+        """Frontier-at-a-time version of the per-ECS one-step lookahead.
+
+        Expands the transitions of every enabled non-source ECS as one
+        matrix, then replays the scalar probing semantics (fire, cycle
+        check, termination probe, early exit) over the precomputed rows so
+        the ``fires`` counter and the interned-marking set stay identical to
+        the scalar backend.  Surviving probe markings are interned in one
+        :class:`MarkingStore` pass; the returned frontier is reused by
+        :meth:`_ep_ecs` for the ECSs the search actually descends into.
+        """
+        vec = self.tree.vec_of(v)
+        on_path = self.tree._markings_on_path
+        candidate_tids: List[int] = []
+        segments: Dict[ECS, Tuple[int, int]] = {}
+        for ecs_id, ecs in zip(enabled_ids, enabled):
+            if ecs_id in self._source_ecs_ids:
+                continue
+            start = len(candidate_tids)
+            candidate_tids.extend(self._ecs_tids[ecs_id])
+            segments[ecs] = (start, len(candidate_tids))
+        if candidate_tids:
+            child_depth = self.tree.nodes[v].depth + 1
+            vecs, pruned = self._expand(vec, candidate_tids, child_depth)
+        else:
+            vecs, pruned = [], []
+        # the index a probe node would get (every probe is popped again, so
+        # all probes of this node share it) -- the node-budget verdict
+        probe_budget = self._split.budget_holds(len(self.tree.nodes))
+        lookahead: Dict[ECS, ECSLookahead] = {}
+        survivors: List[MarkingVec] = []
+        for ecs_id, ecs in zip(enabled_ids, enabled):
+            hits = False
+            closes = False
+            segment = segments.get(ecs)
+            if segment is not None:
+                for index in range(segment[0], segment[1]):
+                    self.counters.fires += 1
+                    candidate = vecs[index]
+                    if on_path.get(candidate) is not None:
+                        closes = True
+                        break
+                    survivors.append(candidate)
+                    if pruned[index] or probe_budget:
+                        hits = True
+                        break
+            lookahead[ecs] = ECSLookahead(
+                hits_termination=hits,
+                closes_cycle=closes,
+                token_delta=self._ecs_token_delta[ecs_id],
+            )
+        self.tree.store.intern_many(survivors)
+        return _Frontier(vecs, pruned, segments), lookahead
 
     # -- ancestor ordering helpers -----------------------------------------
     def _closer_to_root(self, a: int, b: int) -> int:
@@ -392,9 +650,14 @@ class _EPSearch:
         sys.setrecursionlimit(max(old_limit, 100_000))
         try:
             self.tree.push(root)
+            child_pruned: Optional[bool] = None
+            if self.backend == "batched":
+                # the root's one-transition frontier: the source firing
+                _vecs, pruned = self._expand(initial, (source_tid,), 1)
+                child_pruned = pruned[0]
             self.tree.push(child)
             try:
-                entering_point = self._ep(child, root)
+                entering_point = self._ep(child, root, child_pruned)
             finally:
                 self.tree.pop(child)
                 self.tree.pop(root)
@@ -424,9 +687,20 @@ class _EPSearch:
         )
 
     # -- EP ----------------------------------------------------------------
-    def _ep(self, v: int, target: int) -> Optional[int]:
+    def _ep(self, v: int, target: int, pruned: Optional[bool] = None) -> Optional[int]:
+        """EP at node ``v``.
+
+        ``pruned`` is the batched backend's precomputed verdict of the
+        maskable termination conditions for ``v`` (its marking was a row of
+        the parent's frontier); the node-budget leaves are checked here
+        against the node's actual index.  The scalar backend passes ``None``
+        and evaluates the composite condition directly.
+        """
         self.counters.nodes_expanded += 1
-        if self.termination.holds(self.tree, v):
+        if pruned is not None:
+            if pruned or self._split.budget_holds(v):
+                return UNDEF
+        elif self.termination.holds(self.tree, v):
             return UNDEF
         equal = self.tree.equal_marking_ancestor(v)
         if equal is not None:
@@ -445,39 +719,44 @@ class _EPSearch:
         partition = self.analysis.partition
         enabled = [partition[ecs_id] for ecs_id in enabled_ids]
 
+        frontier: Optional[_Frontier] = None
         if len(enabled) == 1:
             ordered = list(enabled)
         else:
-            vec = self.tree.vec_of(v)
-            on_path = self.tree._markings_on_path
-            tindex = self.inet.transition_index
-            lookahead: Dict[ECS, ECSLookahead] = {}
-            for ecs_id, ecs in zip(enabled_ids, enabled):
-                hits = False
-                closes = False
-                delta = self._ecs_token_delta[ecs_id]
-                if ecs_id not in self._source_ecs_ids:
-                    for transition in sorted(ecs):
-                        candidate = self._fire(tindex[transition], vec)
-                        if on_path.get(candidate) is not None:
-                            closes = True
-                            break
-                        probe = self.tree.add_child(v, tindex[transition], candidate)
-                        if self.termination.holds(self.tree, probe):
-                            hits = True
-                        # remove the probe node again (it was only a lookahead)
-                        self.tree.nodes.pop()
-                        self.tree.nodes[v].children.pop()
-                        if hits:
-                            break
-                lookahead[ecs] = ECSLookahead(
-                    hits_termination=hits, closes_cycle=closes, token_delta=delta
-                )
+            if self.backend == "batched":
+                frontier, lookahead = self._batched_lookahead(v, enabled_ids, enabled)
+            else:
+                vec = self.tree.vec_of(v)
+                on_path = self.tree._markings_on_path
+                tindex = self.inet.transition_index
+                lookahead = {}
+                for ecs_id, ecs in zip(enabled_ids, enabled):
+                    hits = False
+                    closes = False
+                    delta = self._ecs_token_delta[ecs_id]
+                    if ecs_id not in self._source_ecs_ids:
+                        for transition in sorted(ecs):
+                            candidate = self._fire(tindex[transition], vec)
+                            if on_path.get(candidate) is not None:
+                                closes = True
+                                break
+                            probe = self.tree.add_child(v, tindex[transition], candidate)
+                            if self.termination.holds(self.tree, probe):
+                                hits = True
+                            # remove the probe node again (it was only a lookahead)
+                            self.tree.nodes.pop()
+                            self.tree.nodes[v].children.pop()
+                            if hits:
+                                break
+                    lookahead[ecs] = ECSLookahead(
+                        hits_termination=hits, closes_cycle=closes, token_delta=delta
+                    )
             context = HeuristicContext(
-                marking=self.tree.marking_of(v),
                 path_firings=self.tree.path_firings(),
                 depth=self.tree.nodes[v].depth,
                 lookahead=lookahead,
+                marking_supplier=lambda: self.tree.marking_of(v),
+                fired_by_tid=self.tree.fired_vector(),
             )
             ordered = self.heuristic.order(enabled, context)
 
@@ -490,7 +769,7 @@ class _EPSearch:
 
         best: Optional[int] = UNDEF
         for ecs in non_source:
-            entering_point = self._ep_ecs(ecs, v, target)
+            entering_point = self._ep_ecs(ecs, v, target, frontier)
             if entering_point is UNDEF:
                 continue
             if self.tree.is_ancestor(entering_point, target):
@@ -502,7 +781,7 @@ class _EPSearch:
         if best is not UNDEF:
             return best
         for ecs in source_ecss:
-            entering_point = self._ep_ecs(ecs, v, target)
+            entering_point = self._ep_ecs(ecs, v, target, frontier)
             if entering_point is UNDEF:
                 continue
             if self.tree.is_ancestor(entering_point, target):
@@ -514,19 +793,44 @@ class _EPSearch:
         return best
 
     # -- EP_ECS ---------------------------------------------------------------
-    def _ep_ecs(self, ecs: ECS, v: int, target: int) -> Optional[int]:
+    def _ep_ecs(
+        self,
+        ecs: ECS,
+        v: int,
+        target: int,
+        frontier: Optional[_Frontier] = None,
+    ) -> Optional[int]:
         entering_point: Optional[int] = UNDEF
         current_target = target
         vec = self.tree.vec_of(v)
-        tindex = self.inet.transition_index
-        for transition in sorted(ecs):
+        ecs_id = self._ecs_id_of[ecs]
+        names = self._sorted_ecs[ecs_id]
+        tids = self._ecs_tids[ecs_id]
+        child_vecs: Optional[List[MarkingVec]] = None
+        child_pruned: Optional[List[bool]] = None
+        if self.backend == "batched":
+            segment = frontier.segments.get(ecs) if frontier is not None else None
+            if segment is not None:
+                # the lookahead already fired this ECS's candidates
+                child_vecs = frontier.vecs[segment[0] : segment[1]]
+                child_pruned = frontier.pruned[segment[0] : segment[1]]
+            else:
+                child_depth = self.tree.nodes[v].depth + 1
+                child_vecs, child_pruned = self._expand(vec, tids, child_depth)
+        for index, transition in enumerate(names):
             if len(self.tree) >= self.options.max_nodes:
                 return UNDEF
-            tid = tindex[transition]
-            child = self.tree.add_child(v, tid, self._fire(tid, vec))
+            tid = tids[index]
+            if child_vecs is not None:
+                self.counters.fires += 1
+                child = self.tree.add_child(v, tid, child_vecs[index])
+                pruned: Optional[bool] = child_pruned[index]
+            else:
+                child = self.tree.add_child(v, tid, self._fire(tid, vec))
+                pruned = None
             self.tree.push(child)
             try:
-                child_point = self._ep(child, current_target)
+                child_point = self._ep(child, current_target, pruned)
             finally:
                 self.tree.pop(child)
             if child_point is UNDEF:
@@ -633,6 +937,7 @@ def find_all_schedules(
     sources: Optional[Sequence[str]] = None,
     raise_on_failure: bool = False,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, SchedulerResult]:
     """Find one schedule per uncontrollable source transition.
 
@@ -643,8 +948,14 @@ def find_all_schedules(
     fan out over a process pool (see :mod:`repro.scheduling.parallel`); the
     results are value-identical to the serial path, merged back in the same
     deterministic source order.
+
+    ``backend`` overrides ``options.backend`` ("scalar" | "batched" |
+    "auto"); both hot-loop backends produce byte-identical schedules, so the
+    knob only trades wall clock (and the ``batched_expansions`` counter).
     """
     options = options or SchedulerOptions()
+    if backend is not None:
+        options = replace(options, backend=backend)
     if workers is not None and workers > 1:
         from repro.scheduling.parallel import find_all_schedules_parallel
 

@@ -39,15 +39,51 @@ class ECSLookahead:
     token_delta: int = 0
 
 
-@dataclass
 class HeuristicContext:
-    """Information available to the ordering heuristic at one tree node."""
+    """Information available to the ordering heuristic at one tree node.
 
-    marking: Marking
-    path_firings: Mapping[str, int]
-    depth: int
-    # optional per-ECS one-step lookahead computed by the scheduler
-    lookahead: Mapping[ECS, ECSLookahead] = field(default_factory=dict)
+    ``marking`` is materialised lazily: the built-in heuristics rank ECSs
+    from the lookahead masks and the path firing counts alone, and building
+    a facade :class:`Marking` per expanded node is pure overhead in the
+    search hot loop.  The scheduler passes ``marking_supplier`` instead; a
+    heuristic that does read ``context.marking`` pays the conversion only
+    then (and custom callers may still pass ``marking`` directly).
+    """
+
+    __slots__ = (
+        "_marking",
+        "_marking_supplier",
+        "path_firings",
+        "depth",
+        "lookahead",
+        "fired_by_tid",
+    )
+
+    def __init__(
+        self,
+        marking: Optional[Marking] = None,
+        path_firings: Optional[Mapping[str, int]] = None,
+        depth: int = 0,
+        lookahead: Optional[Mapping[ECS, ECSLookahead]] = None,
+        marking_supplier: Optional[Callable[[], Marking]] = None,
+        fired_by_tid: Optional[Sequence[int]] = None,
+    ):
+        self._marking = marking
+        self._marking_supplier = marking_supplier
+        self.path_firings: Mapping[str, int] = path_firings if path_firings is not None else {}
+        self.depth = depth
+        # optional per-ECS one-step lookahead computed by the scheduler
+        self.lookahead: Mapping[ECS, ECSLookahead] = lookahead if lookahead is not None else {}
+        # optional dense twin of path_firings (indexed by transition ID); the
+        # invariant-guided ordering uses it to skip a per-node Python scan of
+        # the whole candidate invariant
+        self.fired_by_tid = fired_by_tid
+
+    @property
+    def marking(self) -> Optional[Marking]:
+        if self._marking is None and self._marking_supplier is not None:
+            self._marking = self._marking_supplier()
+        return self._marking
 
     def hits_termination(self, ecs: ECS) -> bool:
         info = self.lookahead.get(ecs)
@@ -148,6 +184,11 @@ class InvariantGuidedOrdering(ECSOrderingHeuristic):
         self.base = invariants if invariants is not None else t_invariant_basis(net)
         self.tie_break = TieBreakOrdering(analysis)
         self._candidate = self._select_candidate_invariant()
+        # dense view of the candidate invariant (tids / counts), built lazily
+        # per indexed snapshot for the fired_by_tid fast path of order()
+        self._dense_for: Optional[object] = None
+        self._candidate_tids = None
+        self._candidate_counts = None
 
     # -- candidate invariant -------------------------------------------------
     def _select_candidate_invariant(self) -> Dict[str, int]:
@@ -226,12 +267,61 @@ class InvariantGuidedOrdering(ECSOrderingHeuristic):
             return dict(self._candidate)
         return remaining
 
+    def _dense_candidate(self, inet):
+        """Candidate invariant as (tid array, count array), cached per snapshot."""
+        if self._dense_for is not inet:
+            import numpy as np
+
+            items = sorted(self._candidate.items())
+            tindex = inet.transition_index
+            self._candidate_tids = np.asarray(
+                [tindex[t] for t, _count in items], dtype=np.intp
+            )
+            self._candidate_counts = np.asarray(
+                [count for _t, count in items], dtype=np.int64
+            )
+            self._dense_for = inet
+        return self._candidate_tids, self._candidate_counts
+
+    def _promising_predicate(self, context: HeuristicContext):
+        """``ecs -> bool``: does the ECS contain a still-promising transition?
+
+        With a dense ``fired_by_tid`` view the cyclic-replay arithmetic of
+        :meth:`promising_vector` runs as one vector op per node (and one
+        integer check per queried transition) instead of a Python scan over
+        the whole candidate invariant; the two paths agree exactly because
+        ``remaining`` is never empty for a non-empty candidate (the invariant
+        repetition count is the floor-minimum over its support).
+        """
+        candidate = self._candidate
+        fired = context.fired_by_tid
+        if not candidate or fired is None:
+            vector = self.promising_vector(context.path_firings)
+            if not vector:
+                return lambda ecs: True
+            return lambda ecs: any(vector.get(t, 0) > 0 for t in ecs)
+        tids, counts = self._dense_candidate(self.net.indexed())
+        repetitions = int((fired[tids] // counts).min())
+        tindex = self.net.indexed().transition_index
+
+        def is_promising(ecs: ECS) -> bool:
+            for transition in ecs:
+                count = candidate.get(transition)
+                if count is None:
+                    continue
+                left = count - (int(fired[tindex[transition]]) - repetitions * count)
+                if left > 0:
+                    return True
+            return False
+
+        return is_promising
+
     def order(self, ecss: Sequence[ECS], context: HeuristicContext) -> List[ECS]:
-        vector = self.promising_vector(context.path_firings)
+        is_promising = self._promising_predicate(context)
 
         def key(ecs: ECS) -> Tuple:
             is_source = self.analysis.is_source_ecs(ecs)
-            promising = any(vector.get(t, 0) > 0 for t in ecs) if vector else True
+            promising = is_promising(ecs)
             # "Fire a source transition only when the system cannot fire
             # anything else" dominates, then cycle-closing moves, then the
             # termination lookahead, the token-consumption preference and the

@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.petrinet.analysis import StructuralAnalysis
@@ -42,6 +43,7 @@ from repro.scheduling.ep import (
     SchedulingFailure,
     SearchCounters,
     find_schedule,
+    resolve_backend_for,
 )
 from repro.scheduling.serialize import result_from_record, result_to_record
 
@@ -129,6 +131,10 @@ def find_all_schedules_parallel(
     net is shipped once per worker via the pool initializer.
     """
     options = options or SchedulerOptions()
+    # Resolve "auto" on the caller: the decision is deterministic in (net,
+    # options), but pinning the concrete backend into the shipped options
+    # makes every worker's choice visible and independent of its environment.
+    options = replace(options, backend=resolve_backend_for(net, options))
     targets = list(sources) if sources is not None else net.uncontrollable_sources()
     for source in targets:
         if source not in net.transitions:

@@ -48,8 +48,27 @@ class TerminationCondition:
 
     name = "termination"
 
+    #: True for conditions whose verdict depends only on the candidate
+    #: marking, its depth and the markings on the path to it -- the ones the
+    #: batched EP backend can evaluate for a whole frontier at once via
+    #: :meth:`frontier_mask`.  Index-dependent conditions (:class:`NodeBudget`)
+    #: and arbitrary user conditions leave this False.
+    supports_frontier_mask = False
+
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
         raise NotImplementedError
+
+    def frontier_mask(self, inet, ancestors, children, child_depth: int):
+        """Batched verdicts for a whole frontier (boolean, one per child row).
+
+        ``ancestors`` is the ``(depth, n_places)`` matrix of markings on the
+        path from the root to the expanded node (the node included),
+        ``children`` the ``(n_children, n_places)`` candidate markings, and
+        ``child_depth`` the tree depth every child would have.  Must agree
+        with :meth:`holds` evaluated on a child node hanging off the expanded
+        node.  Only meaningful when :attr:`supports_frontier_mask` is True.
+        """
+        raise NotImplementedError(f"{self.name} has no batched form")
 
     def __call__(self, tree: SchedulingTreeView, node: int) -> bool:
         return self.holds(tree, node)
@@ -77,11 +96,15 @@ class IrrelevanceCriterion(TerminationCondition):
 
     degrees: Dict[str, int]
     name: str = "irrelevance"
+    supports_frontier_mask = True
     # cached dense degree vector, keyed by the indexed net it was built for
     _degrees_vec_for: Optional[object] = field(
         default=None, init=False, repr=False, compare=False
     )
     _degrees_vec: tuple = field(default=(), init=False, repr=False, compare=False)
+    _degrees_np: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __getstate__(self) -> Dict[str, object]:
         # The dense-degree cache pins an IndexedNet (and through it the whole
@@ -90,6 +113,7 @@ class IrrelevanceCriterion(TerminationCondition):
         state = dict(self.__dict__)
         state["_degrees_vec_for"] = None
         state["_degrees_vec"] = ()
+        state["_degrees_np"] = None
         return state
 
     @classmethod
@@ -106,8 +130,20 @@ class IrrelevanceCriterion(TerminationCondition):
             self._degrees_vec = tuple(
                 self.degrees.get(name, 0) for name in inet.place_names
             )
+            self._degrees_np = None
             self._degrees_vec_for = inet
         return self._degrees_vec
+
+    def frontier_mask(self, inet, ancestors, children, child_depth: int):
+        """Batched Definition 4.5 over a whole frontier (one broadcast)."""
+        import numpy as np
+
+        from repro.petrinet.batched import irrelevance_frontier_mask
+
+        degrees = self.degrees_vec(inet)
+        if self._degrees_np is None:
+            self._degrees_np = np.asarray(degrees, dtype=np.int64)
+        return irrelevance_frontier_mask(children, ancestors, self._degrees_np)
 
     def irrelevant_rows(self, inet, matrix, ancestor_vec):
         """Batched form over a marking matrix (one row per marking).
@@ -184,6 +220,7 @@ class PlaceBoundCondition(TerminationCondition):
     bounds: Dict[str, int] = field(default_factory=dict)
     default_bound: Optional[int] = None
     name: str = "place-bounds"
+    supports_frontier_mask = True
     _bounds_vec_for: Optional[object] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -216,6 +253,9 @@ class PlaceBoundCondition(TerminationCondition):
 
         return bound_violation_mask(matrix, self._bounded_pids(inet))
 
+    def frontier_mask(self, inet, ancestors, children, child_depth: int):
+        return self.violation_rows(inet, children)
+
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
         vec_of = getattr(tree, "vec_of", None)
         inet = getattr(tree, "inet", None)
@@ -244,6 +284,7 @@ class UserBoundCondition(TerminationCondition):
 
     bounds: Dict[str, int] = field(default_factory=dict)
     name: str = "user-channel-bounds"
+    supports_frontier_mask = True
     _bounds_vec_for: Optional[object] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -277,6 +318,9 @@ class UserBoundCondition(TerminationCondition):
         from repro.petrinet.batched import bound_violation_mask
 
         return bound_violation_mask(matrix, self._bounded_pids(inet))
+
+    def frontier_mask(self, inet, ancestors, children, child_depth: int):
+        return self.violation_rows(inet, children)
 
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
         if not self.bounds:
@@ -318,10 +362,16 @@ class MaxDepthCondition(TerminationCondition):
 
     max_depth: int
     name: str = "max-depth"
+    supports_frontier_mask = True
 
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
         depth = sum(1 for _ in tree.ancestors_of(node))
         return depth > self.max_depth
+
+    def frontier_mask(self, inet, ancestors, children, child_depth: int):
+        import numpy as np
+
+        return np.full(children.shape[0], child_depth > self.max_depth, dtype=bool)
 
 
 @dataclass
@@ -336,6 +386,54 @@ class CompositeCondition(TerminationCondition):
 
     def describe(self) -> str:
         return " | ".join(condition.describe() for condition in self.conditions)
+
+
+@dataclass
+class FrontierSplit:
+    """A termination condition decomposed for the batched EP backend.
+
+    ``maskable`` are the marking/path-dependent leaves (evaluated for a whole
+    frontier via :meth:`TerminationCondition.frontier_mask`); ``budgets`` the
+    node-index thresholds of the :class:`NodeBudget` leaves, which the search
+    checks per node at visit time (a child's index is only known then).
+    Together they are the whole condition: ``holds(tree, node)`` equals
+    ``any(mask) or any(node >= b for b in budgets)``.
+    """
+
+    maskable: List[TerminationCondition] = field(default_factory=list)
+    budgets: List[int] = field(default_factory=list)
+
+    def budget_holds(self, node_index: int) -> bool:
+        for budget in self.budgets:
+            if node_index >= budget:
+                return True
+        return False
+
+
+def split_frontier_conditions(
+    condition: TerminationCondition,
+) -> Optional[FrontierSplit]:
+    """Decompose a condition tree for frontier-at-a-time evaluation.
+
+    Returns ``None`` when some leaf is neither frontier-maskable nor a
+    :class:`NodeBudget` -- e.g. an arbitrary user-supplied condition, whose
+    ``holds`` may inspect tree state the batched backend does not
+    materialise.  The scheduler then falls back to the scalar backend.
+    """
+    split = FrontierSplit()
+
+    def visit(cond: TerminationCondition) -> bool:
+        if isinstance(cond, CompositeCondition):
+            return all(visit(sub) for sub in cond.conditions)
+        if isinstance(cond, NodeBudget):
+            split.budgets.append(cond.max_nodes)
+            return True
+        if cond.supports_frontier_mask:
+            split.maskable.append(cond)
+            return True
+        return False
+
+    return split if visit(condition) else None
 
 
 def default_termination(

@@ -53,6 +53,9 @@ def options_cache_key(options: SchedulerOptions) -> Optional[Tuple]:
         options.validate,
         options.invariant_precheck,
         options.defer_sources,
+        # backends are schedule-equivalent, but the counters they record
+        # differ (batched_expansions); keep replayed records honest
+        options.backend,
     )
 
 

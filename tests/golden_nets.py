@@ -73,6 +73,11 @@ def derive_case(net_name: str, source: str) -> Dict[str, object]:
     return record
 
 
+def render_case(record: Dict[str, object]) -> str:
+    """The exact fixture bytes for a record (the byte-level sync contract)."""
+    return json.dumps(record, indent=2, sort_keys=True) + "\n"
+
+
 def regenerate() -> List[Path]:
     GOLDEN_DIR.mkdir(exist_ok=True)
     written: List[Path] = []
@@ -80,7 +85,7 @@ def regenerate() -> List[Path]:
         for source in sources:
             record = derive_case(net_name, source)
             path = fixture_path(net_name, source)
-            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            path.write_text(render_case(record))
             written.append(path)
     return written
 

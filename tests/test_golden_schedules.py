@@ -17,7 +17,7 @@ import json
 
 import pytest
 
-from golden_nets import GOLDEN_CASES, derive_case, fixture_path
+from golden_nets import GOLDEN_CASES, derive_case, fixture_path, render_case
 
 ALL_CASES = [
     (net_name, source)
@@ -55,3 +55,18 @@ def test_every_fixture_has_a_registered_case():
     expected = {fixture_path(net_name, source) for net_name, source in ALL_CASES}
     actual = set(fixture_path("", "").parent.glob("*.json"))
     assert actual == expected
+
+
+@pytest.mark.parametrize("net_name,source", ALL_CASES)
+def test_regenerating_fixture_is_a_byte_level_noop(net_name, source):
+    """In-process regeneration must reproduce the committed bytes exactly.
+
+    This is stricter than the field-wise diff above: it pins the fixture
+    *encoding* (key order, indentation, trailing newline) as well as the
+    content, so a fixture that went stale -- or a regeneration script whose
+    serialization drifted -- fails CI instead of silently rewriting files
+    on the next `python tests/golden_nets.py` run.
+    """
+    path = fixture_path(net_name, source)
+    regenerated = render_case(derive_case(net_name, source))
+    assert regenerated == path.read_text()

@@ -252,6 +252,7 @@ def test_search_counters_are_populated():
         "enabled_scans",
         "enabled_updates",
         "interned_markings",
+        "batched_expansions",
     }
 
 

@@ -33,7 +33,10 @@ def main() -> None:
     result = find_schedule(
         conservative.net, "src.prodA.start", options=SchedulerOptions(max_nodes=800)
     )
-    print(f"schedulable: {result.success}  (explored {result.tree_nodes} nodes)")
+    print(
+        f"schedulable: {result.success}  (explored {result.tree_nodes} nodes, "
+        f"{result.counters.nodes_expanded} EP expansions)"
+    )
     print("reason:", result.failure_reason)
     print("-> the overflowing path where A keeps writing while B stops reading is a")
     print("   FALSE path, but the conservative abstraction cannot prove it false.\n")

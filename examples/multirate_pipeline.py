@@ -3,8 +3,11 @@
 Run with ``python examples/multirate_pipeline.py``.
 
 Demonstrates multi-rate communication (bursts of several items per port
-operation), the channel bounds the scheduler derives, and the independence /
-executability machinery on systems with several pipeline stages.
+operation), the channel bounds the scheduler derives, the independence /
+executability machinery on systems with several pipeline stages, and
+``find_all_schedules`` -- the entry point that schedules *every*
+uncontrollable input (serially here; pass ``workers=N`` to fan out, set
+``REPRO_CACHE=1`` to persist the outcomes across runs).
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 from repro.apps.workloads import build_pipeline_network, build_producer_consumer_network
 from repro.flowc.linker import link
 from repro.runtime.simulation import MultiTaskSimulation, SingleTaskSimulation
-from repro.scheduling.ep import find_schedule
+from repro.scheduling.ep import find_all_schedules, find_schedule
 from repro.scheduling.independence import is_independent_set
 from repro.scheduling.runs import build_run
 
@@ -22,7 +25,9 @@ def producer_consumer_demo() -> None:
     for burst in (1, 2, 4):
         network = build_producer_consumer_network(items=8, burst=burst)
         system = link(network)
-        schedule = find_schedule(system.net, "src.producer.trigger", raise_on_failure=True).schedule
+        results = find_all_schedules(system.net, raise_on_failure=True)
+        assert list(results) == ["src.producer.trigger"]  # the single input
+        schedule = results["src.producer.trigger"].schedule
         data_place = system.channel_places["data"]
         print(
             f"burst={burst}: schedule {len(schedule):>3} nodes, "

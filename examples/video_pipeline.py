@@ -1,12 +1,17 @@
 """The industrial video application of Section 8 (producer / filter /
 consumer / controller), end to end.
 
-Run with ``python examples/video_pipeline.py [lines pixels frames]``.
+Run with ``python examples/video_pipeline.py [lines pixels frames [backend]]``.
 
 The example builds the four-process network of Figure 18, schedules it into a
 single task triggered by ``init``, and compares the synthesized implementation
 against the 4-task round-robin baseline: identical outputs, the cycle ratios
 of Table 1 and the code sizes of Table 2.
+
+Scheduling goes through the warm-start cache, so with ``REPRO_CACHE=1`` in
+the environment a repeated run (e.g. the paper's 10x10 geometry, a few
+seconds of search) replays the schedule from ``.cache/repro/`` instead of
+re-searching; ``backend`` picks the EP hot-loop (scalar / batched / auto).
 """
 
 from __future__ import annotations
@@ -16,27 +21,32 @@ import sys
 from repro.apps.video import VideoAppConfig, build_video_system
 from repro.codegen.synthesis import baseline_code_size, synthesize_task, synthesized_code_size
 from repro.runtime.simulation import MultiTaskSimulation, SingleTaskSimulation
-from repro.scheduling.ep import SchedulerOptions, find_schedule
+from repro.scheduling.ep import SchedulerOptions
+from repro.scheduling.warmstart import cached_find_schedule
 
 
 def main() -> None:
     lines = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     pixels = int(sys.argv[2]) if len(sys.argv) > 2 else 5
     frames = int(sys.argv[3]) if len(sys.argv) > 3 else 10
+    backend = sys.argv[4] if len(sys.argv) > 4 else "auto"
     config = VideoAppConfig(lines_per_frame=lines, pixels_per_line=pixels)
     print(f"PFC video application: {lines} lines x {pixels} pixels, {frames} frames")
 
     system = build_video_system(config)
     print(f"linked net: {system.net.stats()}")
 
-    result = find_schedule(
-        system.net, "src.controller.init", options=SchedulerOptions(max_nodes=200_000),
+    result = cached_find_schedule(
+        system.net,
+        "src.controller.init",
+        options=SchedulerOptions(max_nodes=200_000, backend=backend),
         raise_on_failure=True,
     )
     schedule = result.schedule
     print(
         f"schedule: {len(schedule)} nodes, {len(schedule.await_nodes())} await node(s), "
         f"computed in {result.elapsed_seconds:.1f}s"
+        f"{' (replayed from cache)' if result.from_cache else ''}"
     )
     bounds = {}
     for place, bound in schedule.channel_bounds().items():

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.cache {stats,clear,verify}``."""
+
+import sys
+
+from repro.cache.cli import main
+
+sys.exit(main())

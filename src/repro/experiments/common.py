@@ -3,7 +3,15 @@ experiments of Section 8.2.
 
 Scheduling the full 10x10-pixel system takes a few seconds, so the setup is
 computed once and cached per configuration; all experiment harnesses and the
-benchmarks reuse it.
+benchmarks reuse it.  Three cache levels stack here:
+
+* an ``lru_cache`` over configs (same-process, same net object),
+* the structural warm-start L1 inside :func:`cached_find_schedule`
+  (same-process, rebuilt net objects),
+* the persistent disk store (:mod:`repro.cache`) when activated via
+  ``repro.cache.activate()`` or ``REPRO_CACHE=1`` -- then a *new process*
+  running the same geometry replays the schedule instead of re-searching,
+  which is what makes repeated table1/table2/figure20 CLI runs cheap.
 """
 
 from __future__ import annotations
@@ -154,6 +162,9 @@ def build_pfc_setup(
 
     ``backend`` selects the EP-search hot-loop implementation (scalar /
     batched / auto); the resulting schedule is backend-independent, so the
-    knob only matters for the recorded ``scheduling_seconds``.
+    knob only matters for the recorded ``scheduling_seconds``.  With the
+    persistent cache active (``REPRO_CACHE=1`` or ``repro.cache.activate()``)
+    the scheduling step replays from disk across processes; the recorded
+    ``scheduling_seconds`` then still reports the *original* search cost.
     """
     return _cached_setup(config, max_nodes, backend)

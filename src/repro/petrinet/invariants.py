@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.cache as artifact_cache
 from repro.petrinet.fingerprint import incidence_fingerprint
 from repro.petrinet.net import PetriNet
 from repro.util import BoundedLRU
@@ -28,6 +29,10 @@ from repro.util import BoundedLRU
 # whenever a config sweep rebuilds a structurally identical net object; this
 # store survives and replays the basis instead of re-running the Farkas
 # elimination.  Bounded LRU so long property-test runs cannot grow it.
+# When the disk cache is active (repro.cache.activate / REPRO_CACHE=1) the
+# same key additionally hits the persistent store, so the elimination is
+# skipped across *processes*; loaded bases are re-verified against C x = 0
+# before being trusted.
 _BASIS_WARM_STORE: "BoundedLRU[Tuple[str, int], List[Dict[str, int]]]" = BoundedLRU(32)
 
 
@@ -106,11 +111,21 @@ def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, 
     cached = cache.get(cache_key)
     if cached is not None:
         return [dict(invariant) for invariant in cached]
-    warm_key = (incidence_fingerprint(net), max_rows)
+    incidence_fp = incidence_fingerprint(net)
+    warm_key = (incidence_fp, max_rows)
     warmed = _BASIS_WARM_STORE.get(warm_key)
     if warmed is not None:
         cache[cache_key] = [dict(invariant) for invariant in warmed]
         return [dict(invariant) for invariant in warmed]
+    disk = artifact_cache.active_store()
+    if disk is not None:
+        loaded = artifact_cache.load_invariant_basis(
+            disk, net, incidence_fp=incidence_fp, max_rows=max_rows
+        )
+        if loaded is not None:
+            _BASIS_WARM_STORE.put(warm_key, [dict(inv) for inv in loaded])
+            cache[cache_key] = [dict(inv) for inv in loaded]
+            return loaded
     matrix, _places, transitions = incidence_matrix(net)
     n_places, n_transitions = matrix.shape
     if n_transitions == 0:
@@ -158,6 +173,10 @@ def t_invariant_basis(net: PetriNet, *, max_rows: int = 4096) -> List[Dict[str, 
     invariants.sort(key=lambda inv: (len(inv), sorted(inv.items())))
     cache[cache_key] = [dict(invariant) for invariant in invariants]
     _BASIS_WARM_STORE.put(warm_key, [dict(invariant) for invariant in invariants])
+    if disk is not None:
+        artifact_cache.store_invariant_basis(
+            disk, incidence_fp=incidence_fp, max_rows=max_rows, basis=invariants
+        )
     return invariants
 
 

@@ -51,6 +51,7 @@ class Marking(Mapping[str, int]):
         return self._data.get(place, 0)
 
     def get(self, place: str, default: int = 0) -> int:  # type: ignore[override]
+        """Token count of ``place`` (``default`` when absent / zero)."""
         return self._data.get(place, default)
 
     def __iter__(self) -> Iterator[str]:
@@ -117,6 +118,7 @@ class Marking(Mapping[str, int]):
         return all(self[place] >= count for place, count in other.items())
 
     def total_tokens(self) -> int:
+        """Sum of all token counts in the marking."""
         return sum(self._data.values())
 
     def restrict(self, places: Iterable[str]) -> "Marking":

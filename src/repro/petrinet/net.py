@@ -106,14 +106,17 @@ class Transition:
 
     @property
     def is_source(self) -> bool:
+        """True for any environment-port transition (either source kind)."""
         return self.source_kind is not SourceKind.NONE
 
     @property
     def is_uncontrollable_source(self) -> bool:
+        """True when the environment decides when this transition fires."""
         return self.source_kind is SourceKind.UNCONTROLLABLE
 
     @property
     def is_controllable_source(self) -> bool:
+        """True when the scheduler decides when this transition fires."""
         return self.source_kind is SourceKind.CONTROLLABLE
 
     def __hash__(self) -> int:
@@ -339,9 +342,11 @@ class PetriNet:
         return dict(place_out.get(place, ()))
 
     def successors_of_place(self, place: str) -> List[str]:
+        """Names of the transitions consuming from ``place``, sorted."""
         return sorted(self.postset_of_place(place))
 
     def predecessors_of_place(self, place: str) -> List[str]:
+        """Names of the transitions producing into ``place``, sorted."""
         return sorted(self.preset_of_place(place))
 
     # ------------------------------------------------------------------
@@ -349,9 +354,11 @@ class PetriNet:
     # ------------------------------------------------------------------
     @property
     def initial_marking(self) -> Marking:
+        """The initial marking ``M0`` as an immutable :class:`Marking`."""
         return Marking(self.initial_tokens)
 
     def set_initial_tokens(self, place: str, tokens: int) -> None:
+        """Set ``M0(place) = tokens`` (structural mutation: bumps the version)."""
         if place not in self.places:
             raise PetriNetError(f"unknown place {place!r}")
         if tokens < 0:
@@ -413,11 +420,13 @@ class PetriNet:
         return sorted(t for t in self.transitions if not self.pre[t])
 
     def uncontrollable_sources(self) -> List[str]:
+        """The environment inputs -- one single-source schedule is built per entry."""
         return sorted(
             t for t, obj in self.transitions.items() if obj.source_kind is SourceKind.UNCONTROLLABLE
         )
 
     def controllable_sources(self) -> List[str]:
+        """Source transitions the scheduler itself may choose to fire."""
         return sorted(
             t for t, obj in self.transitions.items() if obj.source_kind is SourceKind.CONTROLLABLE
         )
@@ -427,6 +436,7 @@ class PetriNet:
         return sorted(p for p in self.places if len(self.postset_of_place(p)) > 1)
 
     def port_places(self) -> List[str]:
+        """Places that model environment ports or inter-process channels."""
         return sorted(p for p, obj in self.places.items() if obj.is_port)
 
     # ------------------------------------------------------------------

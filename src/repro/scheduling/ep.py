@@ -81,7 +81,39 @@ class SchedulingFailure(Exception):
 
 @dataclass
 class SchedulerOptions:
-    """Configuration of the scheduling algorithm."""
+    """Configuration of the scheduling algorithm.
+
+    Fields (all keyword-friendly, all defaulted):
+
+    * ``single_source`` -- enforce the Section 4.2 restriction: ECSs
+      containing *other* uncontrollable sources are never fired, so the
+      schedule reacts to one environment input at a time.
+    * ``use_invariant_heuristic`` -- order candidate ECSs by the
+      T-invariant-guided heuristic of Section 5.5.2 instead of the plain
+      tie-break ordering (usually a large tree-size win).
+    * ``termination`` -- an explicit :class:`TerminationCondition`;
+      ``None`` builds the default composite (irrelevance criterion +
+      user place bounds + ``max_nodes`` budget).  Custom conditions make
+      the search uncacheable by the warm-start layers.
+    * ``max_nodes`` -- hard budget on scheduling-tree nodes; exceeded
+      searches fail with a budget reason instead of running forever.
+    * ``validate`` -- run ``Schedule.validate`` (the five Section 4.1
+      properties) on every schedule before returning it.
+    * ``invariant_precheck`` -- fail fast when no T-invariant fires the
+      source transition (Section 5.5.2's non-schedulability test).
+    * ``defer_sources`` -- the Section 4.4 pruning rule: fire source ECSs
+      only when nothing else yields an entering point.
+    * ``backend`` -- the hot-loop implementation: ``"scalar"``,
+      ``"batched"``, or ``"auto"`` (default; batched whenever it applies,
+      see :func:`resolve_backend_for`).  Backends are observationally
+      equivalent; the knob trades wall clock only.
+
+    Example::
+
+        >>> options = SchedulerOptions(max_nodes=50_000, backend="scalar")
+        >>> options.single_source
+        True
+    """
 
     single_source: bool = True
     use_invariant_heuristic: bool = True
@@ -121,6 +153,7 @@ class SearchCounters:
     BACKEND_ONLY = ("batched_expansions",)
 
     def as_dict(self) -> Dict[str, int]:
+        """Plain ``{counter: value}`` dict (JSON-friendly, cache-stable)."""
         return asdict(self)
 
     def merge(self, other: "SearchCounters") -> None:
@@ -397,6 +430,7 @@ class SchedulerResult:
 
     @property
     def success(self) -> bool:
+        """True when a schedule was found (``failure_reason`` is set otherwise)."""
         return self.schedule is not None
 
 
@@ -914,9 +948,22 @@ def find_schedule(
 ) -> SchedulerResult:
     """Find a (single-source) schedule for ``source_transition``.
 
+    ``net`` is the linked Petri net, ``source_transition`` the name of the
+    uncontrollable source to react to, ``options`` a
+    :class:`SchedulerOptions` (defaults apply), ``analysis`` an optional
+    pre-built :class:`StructuralAnalysis` to share across several searches
+    of the same net, and ``heuristic`` an optional ECS-ordering override.
+
     Returns a :class:`SchedulerResult`; when ``raise_on_failure`` is set a
     :class:`SchedulingFailure` is raised instead of returning an unsuccessful
     result.
+
+    Example::
+
+        >>> from repro.apps.paper_nets import figure_5
+        >>> result = find_schedule(figure_5(), "a", raise_on_failure=True)
+        >>> (result.success, len(result.schedule) > 0)
+        (True, True)
     """
     options = options or SchedulerOptions()
     if source_transition not in net.transitions:
@@ -952,6 +999,20 @@ def find_all_schedules(
     ``backend`` overrides ``options.backend`` ("scalar" | "batched" |
     "auto"); both hot-loop backends produce byte-identical schedules, so the
     knob only trades wall clock (and the ``batched_expansions`` counter).
+
+    When the persistent artifact cache is active (``repro.cache.activate()``
+    or ``REPRO_CACHE=1``), each per-source search first consults the
+    two-level warm-start cache and replayed results come back with
+    ``from_cache=True`` -- a warm process runs zero EP search work.  With
+    the cache inactive (the default) the searches always run.
+
+    Example::
+
+        >>> from repro.apps.workloads import random_multi_source_net
+        >>> net = random_multi_source_net(2, 3, seed=1)
+        >>> results = find_all_schedules(net)
+        >>> [ (s, r.success) for s, r in results.items() ]
+        [('r0.src', True), ('r1.src', True)]
     """
     options = options or SchedulerOptions()
     if backend is not None:
@@ -968,9 +1029,14 @@ def find_all_schedules(
         )
     analysis = StructuralAnalysis.of(net)
     targets = list(sources) if sources is not None else net.uncontrollable_sources()
+    finder = find_schedule
+    if _active_disk_cache() is not None:
+        from repro.scheduling.warmstart import GLOBAL_SCHEDULE_CACHE
+
+        finder = GLOBAL_SCHEDULE_CACHE.find_schedule
     results: Dict[str, SchedulerResult] = {}
     for source in targets:
-        results[source] = find_schedule(
+        results[source] = finder(
             net,
             source,
             options=options,
@@ -978,3 +1044,10 @@ def find_all_schedules(
             raise_on_failure=raise_on_failure,
         )
     return results
+
+
+def _active_disk_cache():
+    """The process-wide persistent store, or ``None`` (lazy import shim)."""
+    from repro.cache import active_store
+
+    return active_store()

@@ -82,6 +82,9 @@ def _materialise(
 
 def _preload_worker(fingerprint: str, payload: bytes) -> None:
     """Executor initializer: ship the net once per worker process."""
+    from repro.cache import disable_in_subprocess
+
+    disable_in_subprocess()
     _materialise(fingerprint, payload)
 
 
@@ -92,6 +95,13 @@ def _search_task(
     options_blob: bytes,
 ) -> Dict[str, object]:
     """Run one EP search in the worker; return a net-free result record."""
+    from repro.cache import disable_in_subprocess
+
+    # all cache traffic is the parent's job; a worker must not use an
+    # inherited (fork-unsafe) connection nor open a contending one.  Done
+    # here as well as in the initializer so externally-supplied executors
+    # get the same guarantee.
+    disable_in_subprocess()
     net, analysis = _materialise(fingerprint, payload)
     options: SchedulerOptions = pickle.loads(options_blob)
     result = find_schedule(net, source, options=options, analysis=analysis)
@@ -106,6 +116,18 @@ def _search_task(
 def aggregate_counters(results: Iterable[SchedulerResult]) -> SearchCounters:
     """Sum the search counters over several per-source results."""
     return SearchCounters.aggregate(result.counters for result in results)
+
+
+def _live_counters_merge(record: Dict[str, object]) -> None:
+    """Account a worker-executed search in the process's live-search totals.
+
+    Keeps :data:`repro.scheduling.warmstart.LIVE_SEARCH_COUNTERS` honest for
+    cache-aware parallel runs: replayed sources contribute nothing, searches
+    that actually ran in a worker contribute their full counters.
+    """
+    from repro.scheduling.warmstart import LIVE_SEARCH_COUNTERS
+
+    LIVE_SEARCH_COUNTERS.merge(SearchCounters(**record["counters"]))
 
 
 def find_all_schedules_parallel(
@@ -129,12 +151,16 @@ def find_all_schedules_parallel(
     (each task then carries the pickled net, which workers cache per
     structural fingerprint); by default a dedicated pool is created and the
     net is shipped once per worker via the pool initializer.
+
+    When the persistent artifact cache is active (:mod:`repro.cache`), the
+    *parent* performs a read-through before fanning out -- cached sources
+    are replayed without ever reaching the pool -- and funnels the write of
+    every fresh record itself.  Workers never open the store, so N
+    processes cannot contend on one sqlite file, and the cache keys use the
+    caller's original options (before backend pinning) so serial and
+    parallel runs share entries.
     """
     options = options or SchedulerOptions()
-    # Resolve "auto" on the caller: the decision is deterministic in (net,
-    # options), but pinning the concrete backend into the shipped options
-    # makes every worker's choice visible and independent of its environment.
-    options = replace(options, backend=resolve_backend_for(net, options))
     targets = list(sources) if sources is not None else net.uncontrollable_sources()
     for source in targets:
         if source not in net.transitions:
@@ -143,34 +169,79 @@ def find_all_schedules_parallel(
         return {}
 
     fingerprint = structural_fingerprint(net)
-    payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
-    options_blob = pickle.dumps(options, protocol=pickle.HIGHEST_PROTOCOL)
 
-    own_pool = executor is None
-    if own_pool:
-        worker_count = min(workers or default_worker_count(), len(targets))
-        executor = ProcessPoolExecutor(
-            max_workers=max(1, worker_count),
-            initializer=_preload_worker,
-            initargs=(fingerprint, payload),
-        )
-        task_payload: Optional[bytes] = None  # shipped by the initializer
-    else:
-        task_payload = payload
+    # Parent-side cache read-through (L1 + validated disk L2).  Keys use the
+    # pre-pinning options so they line up with the serial path's.
+    from repro.cache import active_store
 
-    try:
-        futures = [
-            executor.submit(_search_task, fingerprint, task_payload, source, options_blob)
-            for source in targets
-        ]
-        records = [future.result() for future in futures]
-    finally:
+    warm_cache = None
+    cached_records: Dict[str, Dict[str, object]] = {}
+    if active_store() is not None:
+        from repro.scheduling.warmstart import GLOBAL_SCHEDULE_CACHE
+
+        warm_cache = GLOBAL_SCHEDULE_CACHE
+        # replay validation memoises its structural analysis on the net's
+        # indexed snapshot, so N disk hits cost one analysis and an
+        # all-miss cold run costs none
+        for source in targets:
+            record = warm_cache.lookup_record(
+                net, source, options, fingerprint=fingerprint
+            )
+            if record is not None:
+                cached_records[source] = record
+    pending = [source for source in targets if source not in cached_records]
+    cacheable_options = options
+
+    records: List[Dict[str, object]] = []
+    if pending:
+        # Resolve "auto" on the caller: the decision is deterministic in (net,
+        # options), but pinning the concrete backend into the shipped options
+        # makes every worker's choice visible and independent of its environment.
+        options = replace(options, backend=resolve_backend_for(net, options))
+        payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
+        options_blob = pickle.dumps(options, protocol=pickle.HIGHEST_PROTOCOL)
+
+        own_pool = executor is None
         if own_pool:
-            executor.shutdown()
+            worker_count = min(workers or default_worker_count(), len(pending))
+            executor = ProcessPoolExecutor(
+                max_workers=max(1, worker_count),
+                initializer=_preload_worker,
+                initargs=(fingerprint, payload),
+            )
+            task_payload: Optional[bytes] = None  # shipped by the initializer
+        else:
+            task_payload = payload
+
+        try:
+            futures = [
+                executor.submit(
+                    _search_task, fingerprint, task_payload, source, options_blob
+                )
+                for source in pending
+            ]
+            records = [future.result() for future in futures]
+        finally:
+            if own_pool:
+                executor.shutdown()
 
     results: Dict[str, SchedulerResult] = {}
-    for source, record in zip(targets, records):
-        results[source] = result_from_record(net, source, record)
+    fresh = dict(zip(pending, records))
+    for source in targets:
+        if source in fresh:
+            record = fresh[source]
+            if warm_cache is not None:
+                # writes funneled through the parent: one process, no
+                # cross-process sqlite contention
+                warm_cache.store_record(
+                    net, source, cacheable_options, record, fingerprint=fingerprint
+                )
+                _live_counters_merge(record)
+            results[source] = result_from_record(net, source, record)
+        else:
+            results[source] = result_from_record(
+                net, source, cached_records[source], from_cache=True
+            )
     if raise_on_failure:
         for source in targets:
             result = results[source]

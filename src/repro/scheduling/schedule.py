@@ -61,11 +61,13 @@ class Schedule:
     # construction helpers
     # ------------------------------------------------------------------
     def add_node(self, marking: Marking) -> ScheduleNode:
+        """Append a node carrying ``marking``; its index is assigned densely."""
         node = ScheduleNode(index=len(self.nodes), marking=marking)
         self.nodes.append(node)
         return node
 
     def add_edge(self, source: int, transition: str, target: int) -> None:
+        """Add the edge ``source --transition--> target`` (one per transition)."""
         if transition in self.nodes[source].edges:
             raise ScheduleValidationError(
                 f"node {source} already has an edge for transition {transition!r}"
@@ -80,12 +82,15 @@ class Schedule:
 
     @property
     def root_node(self) -> ScheduleNode:
+        """The node carrying the initial marking (entry of every reaction)."""
         return self.nodes[self.root]
 
     def node(self, index: int) -> ScheduleNode:
+        """The node at ``index`` (dense, 0-based)."""
         return self.nodes[index]
 
     def edges(self) -> Iterable[Tuple[int, str, int]]:
+        """Every edge as a ``(source_index, transition, target_index)`` triple."""
         for node in self.nodes:
             for transition, target in node.edges.items():
                 yield node.index, transition, target
@@ -155,9 +160,11 @@ class Schedule:
     # traversal
     # ------------------------------------------------------------------
     def successors(self, index: int) -> List[int]:
+        """Distinct target node indices of the edges out of ``index``."""
         return sorted(set(self.nodes[index].edges.values()))
 
     def reachable_from_root(self) -> Set[int]:
+        """Indices of every node reachable from the root along edges."""
         seen: Set[int] = set()
         stack = [self.root]
         while stack:
@@ -210,6 +217,12 @@ class Schedule:
     # validation (the five properties of Section 4.1)
     # ------------------------------------------------------------------
     def validate(self, analysis: Optional[StructuralAnalysis] = None) -> None:
+        """Check the five Section 4.1 schedule properties, raising
+        :class:`ScheduleValidationError` on the first violation: root carries
+        the initial marking with out-degree 1, the root edge fires the source
+        transition, outgoing edges form whole ECSs of enabled transitions,
+        edges fire correctly (target = marking after firing), and every node
+        lies on a directed cycle through the root."""
         if analysis is None:
             analysis = StructuralAnalysis.of(self.net)
         if not self.nodes:
@@ -261,6 +274,7 @@ class Schedule:
     # rendering
     # ------------------------------------------------------------------
     def to_dot(self) -> str:
+        """Graphviz rendering (await nodes drawn as double circles)."""
         await_indices = {node.index for node in self.await_nodes()}
         lines = [f'digraph "schedule_{self.source_transition}" {{']
         for node in self.nodes:
@@ -273,6 +287,7 @@ class Schedule:
         return "\n".join(lines)
 
     def describe(self) -> str:
+        """Human-readable dump: header plus one line per edge."""
         lines = [
             f"schedule for {self.source_transition}: {len(self.nodes)} nodes, "
             f"{sum(node.out_degree for node in self.nodes)} edges, "

@@ -56,6 +56,7 @@ class TerminationCondition:
     supports_frontier_mask = False
 
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        """True when the search must stop exploring past ``node``."""
         raise NotImplementedError
 
     def frontier_mask(self, inet, ancestors, children, child_depth: int):
@@ -74,6 +75,7 @@ class TerminationCondition:
         return self.holds(tree, node)
 
     def describe(self) -> str:
+        """Short human-readable identity (used in failure reasons / logs)."""
         return self.name
 
 
@@ -118,10 +120,12 @@ class IrrelevanceCriterion(TerminationCondition):
 
     @classmethod
     def for_net(cls, net: PetriNet) -> "IrrelevanceCriterion":
+        """Build the criterion from the place degrees of ``net`` (Definition 4.4)."""
         return cls(degrees=all_place_degrees(net))
 
     @classmethod
     def for_analysis(cls, analysis: StructuralAnalysis) -> "IrrelevanceCriterion":
+        """Reuse the degrees a :class:`StructuralAnalysis` already computed."""
         return cls(degrees=dict(analysis.degrees))
 
     def degrees_vec(self, inet) -> tuple:
@@ -157,6 +161,7 @@ class IrrelevanceCriterion(TerminationCondition):
         return irrelevance_mask(matrix, ancestor_vec, self.degrees_vec(inet))
 
     def is_irrelevant(self, marking: Marking, ancestor: Marking) -> bool:
+        """The Definition 4.5 test of ``marking`` against one ``ancestor``."""
         if marking == ancestor:
             return False
         # (b) the ancestor must be covered by the marking
@@ -228,6 +233,7 @@ class PlaceBoundCondition(TerminationCondition):
 
     @classmethod
     def uniform(cls, net: PetriNet, bound: int) -> "PlaceBoundCondition":
+        """The same pre-defined bound on every place (the [13] approach)."""
         return cls(bounds={place: bound for place in net.places})
 
     def __getstate__(self) -> Dict[str, object]:
@@ -292,6 +298,7 @@ class UserBoundCondition(TerminationCondition):
 
     @classmethod
     def for_net(cls, net: PetriNet) -> "UserBoundCondition":
+        """Collect the per-place ``bound`` attributes users set on ``net``."""
         bounds = {
             place: obj.bound for place, obj in net.places.items() if obj.bound is not None
         }

@@ -32,8 +32,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.divisors import build_divisors_system
@@ -160,6 +162,69 @@ def _bench_case(
     return row
 
 
+def _shm_case(name: str, net, *, workers: int) -> Dict[str, object]:
+    """Per-worker attach-vs-rebuild timing for one case's analysis plane.
+
+    Publishes the net's shared-memory plane, then times a cold
+    :func:`~repro.petrinet.shm.attach_net` against a cold
+    unpickle-plus-:class:`StructuralAnalysis` rebuild -- the two transports
+    a scheduling worker actually chooses between -- once per worker.  Each
+    sample runs in its own fresh single-task pool: submitting N quick
+    tasks to one N-wide pool does not guarantee N distinct processes (the
+    first worker can drain every task before a second ever spawns), which
+    would silently report warm-process numbers as per-worker ones.
+    """
+    from repro.petrinet import shm as shm_plane
+
+    plane = shm_plane.acquire_shared_plane(net)
+    if plane is None:
+        return {"case": name, "published": False}
+    payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        samples = []
+        for _ in range(workers):
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                samples.append(
+                    pool.submit(
+                        shm_plane.measure_attach_vs_rebuild, plane.handle, payload
+                    ).result()
+                )
+    finally:
+        plane.release()
+    attach = [sample["attach_seconds"] for sample in samples]
+    rebuild = [sample["rebuild_seconds"] for sample in samples]
+    best_attach = min(attach)
+    best_rebuild = min(rebuild)
+    return {
+        "case": name,
+        "published": True,
+        "workers": workers,
+        "per_worker": [
+            {
+                "pid": sample["pid"],
+                "attach_seconds": round(sample["attach_seconds"], 6),
+                "rebuild_seconds": round(sample["rebuild_seconds"], 6),
+            }
+            for sample in samples
+        ],
+        "attach_seconds_best": round(best_attach, 6),
+        "rebuild_seconds_best": round(best_rebuild, 6),
+        "attach_speedup": round(best_rebuild / best_attach, 3) if best_attach else None,
+    }
+
+
+def _run_shm_phase(cases, *, workers: int) -> Dict[str, object]:
+    """The ``shm`` section of the report: plane status + per-case timings."""
+    from repro.petrinet import shm as shm_plane
+
+    enabled = shm_plane.shm_enabled() and shm_plane.shm_available()
+    info: Dict[str, object] = {"enabled": enabled}
+    if not enabled:
+        return info
+    info["cases"] = [_shm_case(name, net, workers=workers) for name, net in cases]
+    return info
+
+
 def _cache_case(name: str, net) -> Dict[str, object]:
     """Time one case's cache-active scheduling path (cold or warm process).
 
@@ -277,16 +342,29 @@ def run_cli_bench(
             _bench_case(name, net, backends=backends, workers=workers, repeats=repeats)
             for name, net in cases
         ]
-    return {
+    shm_info = _run_shm_phase(cases, workers=workers)
+    cpu_count = os.cpu_count() or 1
+    report: Dict[str, object] = {
         "benchmark": "find_all_schedules: serial vs parallel, scalar vs batched",
         "backends": list(backends),
         "workers": workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "workers_exceed_cores": workers > cpu_count,
         "python": sys.version.split()[0],
         "quick": quick,
         "cache": cache_info,
+        "shm": shm_info,
         "cases": rows,
     }
+    if workers > cpu_count:
+        # the recorded parallel_speedup < 1 is then a property of the host,
+        # not of the parallel layer; say so next to the numbers
+        report["workers_warning"] = (
+            f"workers={workers} exceeds cpu_count={cpu_count}: parallel "
+            "timings oversubscribe the machine and speedups below 1x are "
+            "expected"
+        )
+    return report
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -359,6 +437,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
+    if "workers_warning" in report:
+        print(f"WARNING: {report['workers_warning']}", file=sys.stderr)
+    shm_info = report["shm"]
+    if shm_info.get("enabled"):
+        for row in shm_info["cases"]:
+            if not row.get("published"):
+                print(f"shm {row['case']:<18} plane not published (fell back)")
+                continue
+            print(
+                f"shm {row['case']:<18} attach={row['attach_seconds_best']:.4f}s "
+                f"rebuild={row['rebuild_seconds_best']:.4f}s "
+                f"speedup={row['attach_speedup']}x over {row['workers']} worker(s)"
+            )
     cache_info = report["cache"]
     if cache_info["enabled"]:
         for row in cache_info["cases"]:

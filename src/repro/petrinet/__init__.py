@@ -20,6 +20,9 @@ The paper models the linked network of FlowC processes as a single Petri net
   queries, frontier-at-a-time reachability.
 * :mod:`repro.petrinet.fingerprint` -- stable structural hashes keying the
   warm-start caches across net objects.
+* :mod:`repro.petrinet.shm` -- the shared-memory analysis plane: publish a
+  net's immutable dense analysis once, attach read-only views from every
+  scheduling worker (pickle fallback, refcounted lifecycle).
 """
 
 from repro.petrinet.indexed import IndexedNet, MarkingStore
@@ -51,9 +54,19 @@ from repro.petrinet.invariants import (
     is_t_invariant,
 )
 from repro.petrinet.covering import BinateCoveringProblem, solve_binate_covering
+from repro.petrinet.shm import (
+    AttachedNet,
+    SharedNetHandle,
+    SharedNetPlane,
+    acquire_shared_plane,
+    attach_net,
+    publish_net,
+    shm_enabled,
+)
 
 __all__ = [
     "ArcError",
+    "AttachedNet",
     "BinateCoveringProblem",
     "ChoiceKind",
     "IndexedNet",
@@ -64,9 +77,15 @@ __all__ = [
     "Place",
     "ReachabilityGraph",
     "ReachabilityNode",
+    "SharedNetHandle",
+    "SharedNetPlane",
     "SourceKind",
     "StructuralAnalysis",
     "Transition",
+    "acquire_shared_plane",
+    "attach_net",
+    "publish_net",
+    "shm_enabled",
     "build_reachability_graph",
     "compute_ecs_partition",
     "incidence_fingerprint",

@@ -109,15 +109,7 @@ class IndexedNet:
     )
 
     def __init__(self, net) -> None:
-        self.net = net
-        self.place_names: Tuple[str, ...] = tuple(sorted(net.places))
-        self.place_index: Dict[str, int] = {
-            name: pid for pid, name in enumerate(self.place_names)
-        }
-        self.transition_names: Tuple[str, ...] = tuple(sorted(net.transitions))
-        self.transition_index: Dict[str, int] = {
-            name: tid for tid, name in enumerate(self.transition_names)
-        }
+        self._init_names(net)
 
         consume: List[SparseVec] = []
         produce: List[SparseVec] = []
@@ -152,6 +144,25 @@ class IndexedNet:
         self.token_delta: Tuple[int, ...] = tuple(token_delta)
         self.deltas_by_name: Tuple[Dict[str, int], ...] = tuple(deltas_by_name)
 
+        self.initial_vec: MarkingVec = tuple(
+            net.initial_tokens.get(name, 0) for name in self.place_names
+        )
+        self._init_adjacency()
+
+    def _init_names(self, net) -> None:
+        """Dense ID assignment: sorted-name order for places and transitions."""
+        self.net = net
+        self.place_names: Tuple[str, ...] = tuple(sorted(net.places))
+        self.place_index: Dict[str, int] = {
+            name: pid for pid, name in enumerate(self.place_names)
+        }
+        self.transition_names: Tuple[str, ...] = tuple(sorted(net.transitions))
+        self.transition_index: Dict[str, int] = {
+            name: tid for tid, name in enumerate(self.transition_names)
+        }
+
+    def _init_adjacency(self) -> None:
+        """Derive adjacency (consumers/producers/affected) from the sparse form."""
         consumers: List[List[Tuple[int, int]]] = [[] for _ in self.place_names]
         producers: List[List[Tuple[int, int]]] = [[] for _ in self.place_names]
         for tid, vec in enumerate(self.consume):
@@ -177,12 +188,69 @@ class IndexedNet:
             affected.append(tuple(sorted(touched)))
         self.affected_by: Tuple[Tuple[int, ...], ...] = tuple(affected)
 
-        self.initial_vec: MarkingVec = tuple(
-            net.initial_tokens.get(name, 0) for name in self.place_names
-        )
         # Scratch space for analyses keyed to this structural snapshot (e.g.
         # the T-invariant basis); dies with the snapshot on net mutation.
         self.analysis_cache: Dict[object, object] = {}
+
+    @classmethod
+    def from_dense(cls, net, consume, produce, delta, initial) -> "IndexedNet":
+        """Build the snapshot from dense int64 arrays instead of the facade dicts.
+
+        ``consume`` / ``produce`` / ``delta`` are ``(n_transitions, n_places)``
+        matrices and ``initial`` the dense initial-marking row, all in
+        sorted-name ID order -- exactly what the shared-memory analysis plane
+        (:mod:`repro.petrinet.shm`) publishes.  The arrays are only *read*
+        (sparse vectors come out of per-row ``nonzero``), never copied or
+        retained, so borrowed read-only shared-memory views are fine; the
+        resulting snapshot is field-for-field identical to ``IndexedNet(net)``.
+
+        Shape mismatches against ``net``'s sorted name spaces raise
+        ``ValueError`` -- the caller (attach) treats that as a stale or
+        foreign block and falls back to rebuilding from the net.
+        """
+        import numpy as np
+
+        self = cls.__new__(cls)
+        self._init_names(net)
+        n_transitions = len(self.transition_names)
+        n_places = len(self.place_names)
+        for label, array, shape in (
+            ("consume", consume, (n_transitions, n_places)),
+            ("produce", produce, (n_transitions, n_places)),
+            ("delta", delta, (n_transitions, n_places)),
+            ("initial", initial, (n_places,)),
+        ):
+            if tuple(array.shape) != shape:
+                raise ValueError(
+                    f"dense {label} array has shape {tuple(array.shape)}, "
+                    f"expected {shape} for net {net.name!r}"
+                )
+        place_names = self.place_names
+
+        def sparse_rows(matrix) -> List[List[Tuple[int, int]]]:
+            # one whole-matrix nonzero (row-major: per-row entries stay in
+            # ascending pid order) instead of one numpy call per transition
+            rows: List[List[Tuple[int, int]]] = [[] for _ in range(n_transitions)]
+            tids, pids = np.nonzero(matrix)
+            values = matrix[tids, pids]
+            for tid, pid, value in zip(tids.tolist(), pids.tolist(), values.tolist()):
+                rows[tid].append((pid, value))
+            return rows
+
+        delta_sparse = sparse_rows(delta)
+        token_delta: List[int] = []
+        deltas_by_name: List[Dict[str, int]] = []
+        for sparse in delta_sparse:
+            token_delta.append(sum(d for _pid, d in sparse))
+            deltas_by_name.append({place_names[pid]: d for pid, d in sparse})
+        self.consume = tuple(tuple(row) for row in sparse_rows(consume))
+        self.produce = tuple(tuple(row) for row in sparse_rows(produce))
+        self.delta = tuple(tuple(row) for row in delta_sparse)
+        self.token_delta = tuple(token_delta)
+        self.deltas_by_name = tuple(deltas_by_name)
+        self.initial_vec = tuple(int(v) for v in initial)
+        self._init_adjacency()
+        return self
 
     # ------------------------------------------------------------------
     # facade conversions

@@ -206,6 +206,21 @@ class PetriNet:
             self._indexed_version = self._version
         return self._indexed
 
+    def adopt_indexed(self, indexed: "IndexedNet") -> None:
+        """Install a pre-built :class:`IndexedNet` as this net's snapshot.
+
+        Used by the shared-memory analysis plane, which constructs the
+        snapshot from published dense arrays (``IndexedNet.from_dense``)
+        instead of walking the facade dicts; afterwards ``self.indexed()``
+        returns it until the next structural mutation.  The snapshot must
+        have been built *for this net object* -- a foreign snapshot would
+        mix ID spaces, so it is rejected.
+        """
+        if indexed.net is not self:
+            raise ValueError("cannot adopt an IndexedNet built for a different net")
+        self._indexed = indexed
+        self._indexed_version = self._version
+
     def _adjacency(self) -> Tuple[Dict[str, Dict[str, int]], Dict[str, Dict[str, int]]]:
         if self._adjacency_dirty:
             place_in: Dict[str, Dict[str, int]] = {p: {} for p in self.places}

@@ -1,0 +1,579 @@
+"""Shared-memory analysis plane: publish one net's dense analysis to all workers.
+
+The parallel scheduling layer (:mod:`repro.scheduling.parallel`) fans the
+per-source EP searches out over a process pool.  Before this module, every
+worker unpickled the net and rebuilt the whole dense analysis -- incidence /
+delta matrices, place degrees, the indexed snapshot -- from scratch, paying
+the startup cost once per process per net.  The analysis is immutable and
+identical in every process, so the parent now publishes it **once** into
+``multiprocessing.shared_memory`` blocks and ships only a small picklable
+:class:`SharedNetHandle`; workers attach read-only NumPy views over the same
+physical pages and construct their snapshot from the borrowed arrays
+(:meth:`IndexedNet.from_dense`, :func:`repro.petrinet.batched.adopt_dense_analysis`)
+without copying.
+
+Published per net (all int64, sorted-name ID order):
+
+* ``consume`` -- the incidence pre-matrix ``W-[t, p]``,
+* ``produce`` -- the post-matrix ``W+[t, p]``,
+* ``delta`` -- the marking-change matrix ``D = W+ - W-``,
+* ``degrees`` -- the place-degree row (Definition 4.4),
+* ``initial`` -- the dense initial-marking row,
+
+plus the pickled net itself (one block, read by every attacher instead of
+travelling through a pipe per worker) and a metadata block carrying the
+structural fingerprint, which attach verifies before trusting any bytes.
+
+Lifecycle: a :class:`SharedNetPlane` owns its blocks and is refcounted --
+the process-wide registry holds one reference (so repeated parallel calls
+against a long-lived external executor reuse the same blocks) and every
+in-flight ``find_all_schedules_parallel`` call holds another for its
+duration.  When the count reaches zero the blocks are closed and unlinked;
+an ``atexit`` hook releases whatever the registry still holds, and unlink
+only ever runs in the process that created the blocks (fork-inherited
+planes are left alone).  The ``resource_tracker`` stays the crash safety
+net: registrations are a process-tree-wide set, the creator's ``unlink``
+clears them on the clean path, and a killed publisher leaves the tracker
+to reap the segments at shutdown.
+
+Every failure mode -- platform without shared memory, permission errors,
+stale or unlinked block names, fingerprint mismatches -- degrades to the
+pickle-shipping path with a warning; the plane is a pure transport
+optimisation and can never change a schedule.  Set ``REPRO_SHM=0`` to
+disable it outright.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.petrinet.analysis import StructuralAnalysis, all_place_degrees
+from repro.petrinet.fingerprint import structural_fingerprint
+from repro.petrinet.net import PetriNet
+from repro.util import BoundedLRU
+
+try:  # pragma: no cover - exercised via shm_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
+
+
+class SharedPlaneError(RuntimeError):
+    """Base class for shared-memory analysis-plane failures."""
+
+
+class SharedPlaneUnavailable(SharedPlaneError):
+    """Shared memory cannot be used here (platform, permissions, disabled)."""
+
+
+class SharedAttachError(SharedPlaneError):
+    """A handle could not be attached (stale block, foreign contents)."""
+
+
+class FingerprintMismatchError(SharedAttachError):
+    """The attached block describes a different net than the handle claims."""
+
+
+def shm_enabled() -> bool:
+    """True unless ``REPRO_SHM`` is set to ``0`` / ``false`` / ``off``."""
+    return os.environ.get("REPRO_SHM", "1").strip().lower() not in {
+        "0",
+        "false",
+        "off",
+        "no",
+    }
+
+
+def shm_available() -> bool:
+    """True when the interpreter ships ``multiprocessing.shared_memory``."""
+    return _shared_memory is not None
+
+
+# ---------------------------------------------------------------------------
+# handle: the small picklable description shipped to workers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Location and layout of one published array."""
+
+    key: str
+    block: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedNetHandle:
+    """Picklable description of one net's published analysis plane.
+
+    Carries everything an attacher needs -- the structural fingerprint, the
+    per-array block names / dtypes / shapes, and the location of the pickled
+    net -- and nothing else: shipping a handle costs a few hundred bytes
+    regardless of net size.
+    """
+
+    fingerprint: str
+    arrays: Tuple[SharedArraySpec, ...]
+    payload_block: str
+    payload_size: int
+    meta_block: str
+
+
+def _block_name() -> str:
+    # short (macOS caps shm names around 31 bytes) and collision-free
+    return f"rs_{secrets.token_hex(6)}"
+
+
+def _create_block(data: bytes):
+    shm = _shared_memory.SharedMemory(create=True, size=max(1, len(data)), name=_block_name())
+    shm.buf[: len(data)] = data
+    return shm
+
+
+# ---------------------------------------------------------------------------
+# publisher side
+# ---------------------------------------------------------------------------
+
+
+class SharedNetPlane:
+    """Owner of one net's shared-memory blocks (refcounted).
+
+    Created by :func:`publish_net`; every consumer balances
+    :meth:`acquire` with :meth:`release`, and the blocks are closed and
+    unlinked when the count reaches zero.  Unlinking only happens in the
+    creating process -- fork-inherited copies merely close their mappings.
+    """
+
+    __slots__ = ("handle", "_blocks", "_refcount", "_owner_pid", "closed")
+
+    def __init__(self, handle: SharedNetHandle, blocks: List[object]):
+        self.handle = handle
+        self._blocks = blocks
+        self._refcount = 1
+        self._owner_pid = os.getpid()
+        self.closed = False
+
+    def acquire(self) -> "SharedNetPlane":
+        """Take one reference; the plane stays published until released."""
+        if self.closed:
+            raise SharedPlaneError("plane is already closed")
+        self._refcount += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last release closes and unlinks the blocks."""
+        if self.closed:
+            return
+        self._refcount -= 1
+        if self._refcount <= 0:
+            self._destroy()
+
+    def _destroy(self) -> None:
+        self.closed = True
+        is_owner = os.getpid() == self._owner_pid
+        for shm in self._blocks:
+            try:
+                shm.close()
+            except OSError:
+                continue
+            if is_owner:
+                try:
+                    shm.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
+        self._blocks = []
+
+
+def publish_net(
+    net: PetriNet, fingerprint: Optional[str] = None
+) -> SharedNetPlane:
+    """Publish ``net``'s dense analysis into shared memory.
+
+    Returns a fresh :class:`SharedNetPlane` holding one reference.  Raises
+    :class:`SharedPlaneUnavailable` when shared memory cannot be used
+    (missing module, ``REPRO_SHM=0``, or the OS refusing block creation);
+    callers fall back to shipping pickled bytes.
+    """
+    if _shared_memory is None:
+        raise SharedPlaneUnavailable("multiprocessing.shared_memory is unavailable")
+    if not shm_enabled():
+        raise SharedPlaneUnavailable("disabled via REPRO_SHM")
+    import numpy as np
+
+    from repro.petrinet.batched import (
+        consumption_matrix,
+        delta_matrix,
+        production_matrix,
+    )
+
+    fingerprint = fingerprint or structural_fingerprint(net)
+    inet = net.indexed()
+    degrees = all_place_degrees(net)
+    planes: Dict[str, "np.ndarray"] = {
+        "consume": consumption_matrix(inet),
+        "produce": production_matrix(inet),
+        "delta": delta_matrix(inet),
+        "degrees": np.asarray(
+            [degrees[name] for name in inet.place_names], dtype=np.int64
+        ),
+        "initial": np.asarray(inet.initial_vec, dtype=np.int64),
+    }
+    payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
+
+    blocks: List[object] = []
+    specs: List[SharedArraySpec] = []
+    try:
+        for key, array in planes.items():
+            data = np.ascontiguousarray(array).tobytes()
+            shm = _create_block(data)
+            blocks.append(shm)
+            specs.append(
+                SharedArraySpec(
+                    key=key,
+                    block=shm.name,
+                    dtype=str(array.dtype),
+                    shape=tuple(int(d) for d in array.shape),
+                )
+            )
+        payload_shm = _create_block(payload)
+        blocks.append(payload_shm)
+        meta_shm = _create_block(fingerprint.encode("utf-8"))
+        blocks.append(meta_shm)
+    except (OSError, ValueError) as exc:
+        for shm in blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+        raise SharedPlaneUnavailable(f"cannot create shared-memory blocks: {exc}")
+
+    handle = SharedNetHandle(
+        fingerprint=fingerprint,
+        arrays=tuple(specs),
+        payload_block=payload_shm.name,
+        payload_size=len(payload),
+        meta_block=meta_shm.name,
+    )
+    return SharedNetPlane(handle, blocks)
+
+
+# -- process-wide registry: fingerprint -> live plane ------------------------
+
+_REGISTRY_PID = os.getpid()
+_PLANES: "BoundedLRU[str, SharedNetPlane]" = BoundedLRU(
+    4, on_evict=lambda _fp, plane: plane.release()
+)
+
+
+def _registry() -> "BoundedLRU[str, SharedNetPlane]":
+    """The per-process plane registry (reset, not inherited, across fork)."""
+    global _PLANES, _REGISTRY_PID
+    if os.getpid() != _REGISTRY_PID:
+        # fork child: the inherited planes belong to the parent -- drop the
+        # references without releasing (release would close live mappings
+        # the parent still serves to other workers)
+        _PLANES = BoundedLRU(4, on_evict=lambda _fp, plane: plane.release())
+        _REGISTRY_PID = os.getpid()
+    return _PLANES
+
+
+def acquire_shared_plane(
+    net: PetriNet, fingerprint: Optional[str] = None
+) -> Optional[SharedNetPlane]:
+    """Get-or-publish the plane for ``net`` and take a caller reference.
+
+    Returns ``None`` (after a one-line warning) when publication fails for
+    any reason -- the caller then uses the pickle path.  On success the
+    caller must balance with :meth:`SharedNetPlane.release`; the registry
+    keeps its own reference so later calls (and long-lived external
+    executors) reuse the blocks.
+    """
+    if not (shm_enabled() and shm_available()):
+        return None
+    fingerprint = fingerprint or structural_fingerprint(net)
+    registry = _registry()
+    plane = registry.get(fingerprint)
+    if plane is not None and not plane.closed:
+        return plane.acquire()
+    try:
+        plane = publish_net(net, fingerprint)
+    except SharedPlaneUnavailable as exc:
+        warnings.warn(
+            f"shared-memory analysis plane unavailable ({exc}); "
+            "falling back to pickled-net shipping",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    registry.put(fingerprint, plane)  # registry holds the initial reference
+    return plane.acquire()
+
+
+@atexit.register
+def _release_registry() -> None:  # pragma: no cover - exercised at exit
+    if os.getpid() != _REGISTRY_PID:
+        return
+    for fingerprint in list(_PLANES):
+        plane = _PLANES.get(fingerprint)
+        if plane is not None and not plane.closed:
+            plane._destroy()
+    _PLANES.clear()
+
+
+# ---------------------------------------------------------------------------
+# attacher side
+# ---------------------------------------------------------------------------
+
+
+def _close_quietly(shm) -> None:
+    """Close one block mapping, swallowing already-closed/OS races."""
+    try:
+        shm.close()
+    except OSError:
+        pass
+
+
+class AttachedNet:
+    """A worker's zero-copy view of a published plane.
+
+    ``net`` is the unpickled facade (private to this process), ``analysis``
+    its :class:`StructuralAnalysis`; the net's indexed snapshot borrows the
+    published dense matrices as read-only views.  :meth:`close` detaches:
+    the borrowed views are evicted from the snapshot first, and each block
+    mapping is closed eagerly only when no view over it has escaped --
+    ``SharedMemory.close`` unmaps unconditionally (NumPy keeps the raw
+    pointer, not a buffer export, so neither a ``BufferError`` nor the
+    view's reference to the ``mmap`` protects it, and ``__del__`` closes
+    too), making a read through a dangling view a hard crash.  For an
+    escaped view the block is instead kept alive by a ``weakref.finalize``
+    tied to the view: the mapping closes the moment the last escapee is
+    collected, never under it.
+    """
+
+    __slots__ = (
+        "net",
+        "analysis",
+        "handle",
+        "_view_blocks",
+        "_views",
+        "_inet",
+        "_closed",
+    )
+
+    def __init__(self, net, analysis, handle, view_blocks, views, inet):
+        self.net = net
+        self.analysis = analysis
+        self.handle = handle
+        self._view_blocks = view_blocks  # key -> SharedMemory
+        self._views = views  # key -> borrowed ndarray over that block
+        self._inet = inet
+        self._closed = False
+
+    def close(self) -> None:
+        """Detach: drop the borrowed views, unmap blocks with no escapees."""
+        if self._closed:
+            return
+        self._closed = True
+        import sys
+        import weakref
+
+        from repro.petrinet.batched import discard_dense_analysis
+
+        discard_dense_analysis(self._inet)
+        views = self._views
+        self._views = {}
+        blocks = self._view_blocks
+        self._view_blocks = {}
+        for key, shm in blocks.items():
+            view = views.pop(key, None)
+            # after the cache discard the only expected references are the
+            # `view` local and getrefcount's argument; anything beyond that
+            # is an escapee still pointing into the mapping
+            if view is not None and sys.getrefcount(view) > 2:
+                # keep the block object alive exactly as long as the escapee
+                # (the finalizer's argument holds the only strong reference;
+                # SharedMemory.__del__ would otherwise unmap under the view)
+                weakref.finalize(view, _close_quietly, shm)
+                del view
+                continue
+            del view
+            _close_quietly(shm)
+
+
+def attach_net(handle: SharedNetHandle) -> AttachedNet:
+    """Attach to a published plane and materialise the net around it.
+
+    Verifies the fingerprint stored *in* the metadata block against the
+    handle -- a stale name reused by an unrelated publisher must never be
+    trusted -- which proves every block belongs to the handle's publish
+    batch; the payload is then trusted without a structural re-fingerprint
+    of the unpickled net (the publisher wrote both in one batch), with the
+    dtype/shape cross-checks against the net's name spaces as the backstop.
+    Raises :class:`SharedAttachError` / :class:`FingerprintMismatchError`
+    on any inconsistency; the caller falls back to its pickled copy.
+    """
+    if _shared_memory is None:
+        raise SharedPlaneUnavailable("multiprocessing.shared_memory is unavailable")
+    import numpy as np
+
+    from repro.petrinet.batched import adopt_dense_analysis
+    from repro.petrinet.indexed import IndexedNet
+
+    blocks: List[object] = []
+    try:
+        try:
+            meta_shm = _shared_memory.SharedMemory(name=handle.meta_block)
+        except (FileNotFoundError, OSError, ValueError) as exc:
+            raise SharedAttachError(
+                f"metadata block {handle.meta_block!r} is gone: {exc}"
+            )
+        blocks.append(meta_shm)
+        stored = bytes(meta_shm.buf[: len(handle.fingerprint.encode("utf-8"))])
+        if stored.decode("utf-8", errors="replace") != handle.fingerprint:
+            raise FingerprintMismatchError(
+                "attached metadata block carries a different fingerprint "
+                "than the handle"
+            )
+
+        views: Dict[str, "np.ndarray"] = {}
+        array_shms: Dict[str, object] = {}
+        for spec in handle.arrays:
+            try:
+                shm = _shared_memory.SharedMemory(name=spec.block)
+            except (FileNotFoundError, OSError, ValueError) as exc:
+                raise SharedAttachError(f"array block {spec.block!r} is gone: {exc}")
+            blocks.append(shm)
+            array_shms[spec.key] = shm
+            count = 1
+            for dim in spec.shape:
+                count *= dim
+            if count * np.dtype(spec.dtype).itemsize > shm.size:
+                raise SharedAttachError(
+                    f"array block {spec.block!r} is smaller than its spec"
+                )
+            view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+            view.setflags(write=False)
+            views[spec.key] = view
+        missing = {"consume", "produce", "delta", "degrees", "initial"} - set(views)
+        if missing:
+            raise SharedAttachError(f"handle is missing arrays: {sorted(missing)}")
+
+        try:
+            payload_shm = _shared_memory.SharedMemory(name=handle.payload_block)
+        except (FileNotFoundError, OSError, ValueError) as exc:
+            raise SharedAttachError(
+                f"payload block {handle.payload_block!r} is gone: {exc}"
+            )
+        blocks.append(payload_shm)
+        if handle.payload_size > payload_shm.size:
+            raise SharedAttachError("payload block is smaller than its spec")
+        try:
+            net: PetriNet = pickle.loads(bytes(payload_shm.buf[: handle.payload_size]))
+        except Exception as exc:
+            raise SharedAttachError(f"cannot unpickle the published net: {exc}")
+
+        try:
+            inet = IndexedNet.from_dense(
+                net,
+                views["consume"],
+                views["produce"],
+                views["delta"],
+                views["initial"],
+            )
+        except ValueError as exc:
+            raise SharedAttachError(str(exc))
+        adopt_dense_analysis(
+            inet,
+            consume=views["consume"],
+            produce=views["produce"],
+            delta=views["delta"],
+        )
+        net.adopt_indexed(inet)
+        degrees = {
+            name: int(views["degrees"][pid])
+            for pid, name in enumerate(inet.place_names)
+        }
+        analysis = StructuralAnalysis.of(net, degrees=degrees)
+        # the metadata, payload, degrees and initial blocks are fully
+        # consumed (fingerprint compared, net unpickled, rows copied into
+        # private ints): drop their views and close those mappings now, so
+        # a worker caching several nets only keeps the matrix pages it
+        # actually borrows
+        views.pop("degrees", None)
+        views.pop("initial", None)
+        for consumed in (
+            meta_shm,
+            payload_shm,
+            array_shms.pop("degrees"),
+            array_shms.pop("initial"),
+        ):
+            blocks.remove(consumed)
+            consumed.close()
+        return AttachedNet(net, analysis, handle, array_shms, views, inet)
+    except BaseException:
+        for shm in blocks:
+            try:
+                shm.close()
+            except (BufferError, OSError):
+                pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# benchmarking helper (runs inside pool workers)
+# ---------------------------------------------------------------------------
+
+
+def measure_attach_vs_rebuild(
+    handle: SharedNetHandle, payload: bytes, repeats: int = 3
+) -> Dict[str, object]:
+    """Time a cold attach against a cold unpickle-and-rebuild, in this process.
+
+    Submitted to pool workers by ``benchmarks/bench_scheduler.py`` so the
+    recorded numbers are what an actual worker pays: ``attach_seconds``
+    covers :func:`attach_net` end to end (open blocks, verify the
+    fingerprint, unpickle the net from shared memory, borrow the dense
+    views) and ``rebuild_seconds`` the status-quo path (unpickle shipped
+    bytes, rebuild the indexed snapshot, the full structural analysis and
+    the dense matrices the batched hot loop needs -- attach borrows those
+    for free).  Both legs run ``repeats`` times interleaved (best-of
+    reported): a one-shot sample would charge the leg that happens to run
+    first with every warm-up cost, which matters on oversubscribed CI
+    hosts.
+    """
+    from repro.petrinet.batched import (
+        consumption_matrix,
+        delta_matrix,
+        production_matrix,
+    )
+
+    attach_seconds = rebuild_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        attached = attach_net(handle)
+        attach_seconds = min(attach_seconds, time.perf_counter() - start)
+        attached.close()
+
+        start = time.perf_counter()
+        net: PetriNet = pickle.loads(payload)
+        StructuralAnalysis.of(net)
+        inet = net.indexed()
+        consumption_matrix(inet)
+        production_matrix(inet)
+        delta_matrix(inet)
+        rebuild_seconds = min(rebuild_seconds, time.perf_counter() - start)
+    return {
+        "pid": os.getpid(),
+        "attach_seconds": attach_seconds,
+        "rebuild_seconds": rebuild_seconds,
+    }

@@ -309,6 +309,14 @@ class SchedulingTree:
     def vec_of(self, node: int) -> MarkingVec:
         return self.nodes[node].vec
 
+    def depth_of(self, node: int) -> int:
+        """Tree depth of ``node`` (root = 0); O(1) via the stored field.
+
+        Termination conditions prefer this over counting
+        :meth:`ancestors_of` -- same value, no O(depth) walk per query.
+        """
+        return self.nodes[node].depth
+
     def marking_of(self, node: int) -> Marking:
         tree_node = self.nodes[node]
         if tree_node.marking_cache is None:

@@ -6,13 +6,22 @@ sources are completely independent: they share only the immutable net, the
 structural analysis and the T-invariant basis.  This module fans those
 searches out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 
-* the net is pickled **once** and shipped to each worker, which rebuilds
-  the indexed snapshot and the :class:`StructuralAnalysis` locally (dense
-  IDs follow sorted-name order, so every process derives bit-identical
-  search state -- the property PR 1's indexed core was designed around);
-* workers cache the materialised net per structural fingerprint, so a
-  long-lived executor reused across calls (or across property-test
-  examples) pays the unpickle + analysis cost once per net, not per task;
+* the net's immutable dense analysis is published once into the
+  shared-memory plane (:mod:`repro.petrinet.shm`) and workers receive a
+  small :class:`~repro.petrinet.shm.SharedNetHandle`: each worker attaches
+  read-only views over the same physical pages and builds its snapshot from
+  the borrowed arrays instead of rebuilding the analysis from scratch
+  (dense IDs follow sorted-name order, so every process derives
+  bit-identical search state -- the property PR 1's indexed core was
+  designed around).  When shared memory is unavailable (platform,
+  permissions, ``REPRO_SHM=0``, or ``workers=1``) the net is pickled
+  **once** and shipped to each worker exactly as before -- the plane is a
+  transport optimisation and never changes a schedule;
+* workers cache the materialised net per structural fingerprint in a
+  bounded LRU, so a long-lived executor reused across calls (or across
+  property-test examples) pays the attach / unpickle cost once per net,
+  not per task; evicted entries detach their shared-memory views
+  deterministically;
 * schedules travel back in canonical serialized form (never dragging the
   worker's copy of the net along) and are re-bound to the caller's net
   object, merged in deterministic source order;
@@ -29,14 +38,22 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.petrinet.analysis import StructuralAnalysis
 from repro.util import BoundedLRU
 from repro.petrinet.fingerprint import structural_fingerprint
 from repro.petrinet.net import PetriNet
+from repro.petrinet.shm import (
+    AttachedNet,
+    SharedNetHandle,
+    acquire_shared_plane,
+    attach_net,
+)
 from repro.scheduling.ep import (
     SchedulerOptions,
     SchedulerResult,
@@ -57,35 +74,88 @@ def default_worker_count() -> int:
 # worker side
 # ---------------------------------------------------------------------------
 
-# Per-process cache of materialised nets: fingerprint -> (net, analysis).
-# Bounded so a worker serving many different nets (property tests) does not
-# accumulate every snapshot it ever saw.
-_MATERIALISED: "BoundedLRU[str, Tuple[PetriNet, StructuralAnalysis]]" = BoundedLRU(4)
+class _WorkerNet(NamedTuple):
+    """One materialised net in a worker: facade, analysis, optional shm views."""
+
+    net: PetriNet
+    analysis: StructuralAnalysis
+    attachment: Optional[AttachedNet]
+
+
+def _release_worker_entry(_fingerprint: str, entry: _WorkerNet) -> None:
+    """LRU eviction hook: detach shared-memory views deterministically."""
+    if entry.attachment is not None:
+        entry.attachment.close()
+
+
+# Per-process cache of materialised nets: fingerprint -> _WorkerNet.  Bounded
+# so a worker serving many different nets (property tests, a reused external
+# executor) does not accumulate every snapshot -- and every attachment -- it
+# ever saw; eviction closes the evictee's shared-memory views.
+_MATERIALISED: "BoundedLRU[str, _WorkerNet]" = BoundedLRU(
+    4, on_evict=_release_worker_entry
+)
 
 
 def _materialise(
-    fingerprint: str, payload: Optional[bytes]
-) -> Tuple[PetriNet, StructuralAnalysis]:
+    fingerprint: str,
+    payload: Optional[bytes],
+    handle: Optional[SharedNetHandle] = None,
+) -> _WorkerNet:
+    """Fingerprint-cached net materialisation: attach > unpickle > error.
+
+    Prefers attaching the shared-memory plane described by ``handle``; any
+    attach failure (stale block, fingerprint mismatch, platform refusal)
+    falls back to the pickled ``payload`` with a warning -- degraded
+    transport must never change a schedule.  With neither a usable handle
+    nor a payload the worker cannot proceed and raises.
+    """
     entry = _MATERIALISED.get(fingerprint)
     if entry is not None:
         return entry
+    if handle is not None:
+        try:
+            attached = attach_net(handle)
+        except Exception as exc:
+            warnings.warn(
+                f"shared-memory attach failed in worker {os.getpid()} ({exc}); "
+                + (
+                    "falling back to the pickled net"
+                    if payload is not None
+                    else "no pickled fallback was shipped"
+                ),
+                RuntimeWarning,
+            )
+        else:
+            entry = _WorkerNet(attached.net, attached.analysis, attached)
+            _MATERIALISED.put(fingerprint, entry)
+            return entry
     if payload is None:
         raise RuntimeError(
             f"worker has no materialised net for fingerprint {fingerprint[:12]}..."
             " and no payload was shipped"
         )
     net: PetriNet = pickle.loads(payload)
-    entry = (net, StructuralAnalysis.of(net))
+    entry = _WorkerNet(net, StructuralAnalysis.of(net), None)
     _MATERIALISED.put(fingerprint, entry)
     return entry
 
 
-def _preload_worker(fingerprint: str, payload: bytes) -> None:
-    """Executor initializer: ship the net once per worker process."""
+def _preload_worker(
+    fingerprint: str,
+    payload: Optional[bytes],
+    handle: Optional[SharedNetHandle] = None,
+) -> None:
+    """Executor initializer: materialise the net once per worker process.
+
+    On the shared-memory path only the handle is shipped; an attach failure
+    here (with no pickled fallback) breaks the pool, which the caller
+    catches and retries over the pickle path.
+    """
     from repro.cache import disable_in_subprocess
 
     disable_in_subprocess()
-    _materialise(fingerprint, payload)
+    _materialise(fingerprint, payload, handle)
 
 
 def _search_task(
@@ -93,6 +163,7 @@ def _search_task(
     payload: Optional[bytes],
     source: str,
     options_blob: bytes,
+    handle: Optional[SharedNetHandle] = None,
 ) -> Dict[str, object]:
     """Run one EP search in the worker; return a net-free result record."""
     from repro.cache import disable_in_subprocess
@@ -102,15 +173,68 @@ def _search_task(
     # here as well as in the initializer so externally-supplied executors
     # get the same guarantee.
     disable_in_subprocess()
-    net, analysis = _materialise(fingerprint, payload)
+    worker_net = _materialise(fingerprint, payload, handle)
     options: SchedulerOptions = pickle.loads(options_blob)
-    result = find_schedule(net, source, options=options, analysis=analysis)
+    result = find_schedule(
+        worker_net.net, source, options=options, analysis=worker_net.analysis
+    )
     return result_to_record(result)
 
 
 # ---------------------------------------------------------------------------
 # caller side
 # ---------------------------------------------------------------------------
+
+
+def _run_own_pool(
+    worker_count: int,
+    fingerprint: str,
+    payload_supplier,
+    options_blob: bytes,
+    pending: Sequence[str],
+    plane,
+) -> List[Dict[str, object]]:
+    """Run the pending searches in a dedicated pool, shm first, pickle second.
+
+    With a published plane the initializer ships only the handle -- no net
+    bytes cross the pipe and ``payload_supplier`` (a zero-argument callable
+    producing the pickled net) is never even called; if attaching breaks
+    the workers -- e.g. the blocks vanished between publish and pool start
+    -- the resulting :class:`BrokenProcessPool` is caught and the whole
+    batch reruns over a fresh pool on the classic pickled-net path.
+    Searches are deterministic and side-effect free in workers, so the
+    retry is observationally invisible.
+    """
+
+    def run_batch(payload, handle) -> List[Dict[str, object]]:
+        pool = ProcessPoolExecutor(
+            max_workers=worker_count,
+            initializer=_preload_worker,
+            initargs=(fingerprint, payload, handle),
+        )
+        try:
+            futures = [
+                pool.submit(_search_task, fingerprint, None, source, options_blob)
+                for source in pending
+            ]
+            return [future.result() for future in futures]
+        finally:
+            pool.shutdown()
+
+    if plane is not None:
+        try:
+            return run_batch(None, plane.handle)
+        except BrokenProcessPool:
+            # could be the shared-memory preload, but also any worker crash
+            # (OOM kill, native fault) mid-search -- a crash unrelated to
+            # the transport will recur on the retry and propagate from there
+            warnings.warn(
+                "worker pool broke while running the batch over the "
+                "shared-memory transport; retrying once over the "
+                "pickled-net path",
+                RuntimeWarning,
+            )
+    return run_batch(payload_supplier(), None)
 
 
 def aggregate_counters(results: Iterable[SchedulerResult]) -> SearchCounters:
@@ -148,9 +272,12 @@ def find_all_schedules_parallel(
     before the failure of the earliest source (in that order) is raised.
 
     ``executor`` lets callers amortise pool start-up across many calls
-    (each task then carries the pickled net, which workers cache per
-    structural fingerprint); by default a dedicated pool is created and the
-    net is shipped once per worker via the pool initializer.
+    (each task then carries the shared-memory handle plus the pickled net
+    as fallback; workers attach lazily and cache per structural
+    fingerprint, detaching on LRU eviction); by default a dedicated pool is
+    created and the analysis plane's handle -- or, with shared memory
+    unavailable, the pickled net -- is shipped once per worker via the pool
+    initializer.
 
     When the persistent artifact cache is active (:mod:`repro.cache`), the
     *parent* performs a read-through before fanning out -- cached sources
@@ -198,32 +325,54 @@ def find_all_schedules_parallel(
         # options), but pinning the concrete backend into the shipped options
         # makes every worker's choice visible and independent of its environment.
         options = replace(options, backend=resolve_backend_for(net, options))
-        payload = pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
         options_blob = pickle.dumps(options, protocol=pickle.HIGHEST_PROTOCOL)
 
-        own_pool = executor is None
-        if own_pool:
-            worker_count = min(workers or default_worker_count(), len(pending))
-            executor = ProcessPoolExecutor(
-                max_workers=max(1, worker_count),
-                initializer=_preload_worker,
-                initargs=(fingerprint, payload),
-            )
-            task_payload: Optional[bytes] = None  # shipped by the initializer
-        else:
-            task_payload = payload
+        def payload_supplier() -> bytes:
+            return pickle.dumps(net, protocol=pickle.HIGHEST_PROTOCOL)
 
-        try:
-            futures = [
-                executor.submit(
-                    _search_task, fingerprint, task_payload, source, options_blob
+        if executor is None:
+            worker_count = max(1, min(workers or default_worker_count(), len(pending)))
+            # workers=1 gains nothing from the plane; publish only for a fan-out
+            plane = (
+                acquire_shared_plane(net, fingerprint) if worker_count > 1 else None
+            )
+            try:
+                records = _run_own_pool(
+                    worker_count,
+                    fingerprint,
+                    payload_supplier,
+                    options_blob,
+                    pending,
+                    plane,
                 )
-                for source in pending
-            ]
-            records = [future.result() for future in futures]
-        finally:
-            if own_pool:
-                executor.shutdown()
+            finally:
+                if plane is not None:
+                    plane.release()
+        else:
+            # Externally-supplied executor: its workers outlive this call, so
+            # every task carries the handle (workers attach lazily, cache per
+            # fingerprint, detach on LRU eviction) plus the pickled bytes as
+            # the always-correct fallback.  The registry keeps the plane
+            # alive across calls for pool reuse.
+            payload = payload_supplier()
+            plane = acquire_shared_plane(net, fingerprint)
+            task_handle = plane.handle if plane is not None else None
+            try:
+                futures = [
+                    executor.submit(
+                        _search_task,
+                        fingerprint,
+                        payload,
+                        source,
+                        options_blob,
+                        task_handle,
+                    )
+                    for source in pending
+                ]
+                records = [future.result() for future in futures]
+            finally:
+                if plane is not None:
+                    plane.release()
 
     results: Dict[str, SchedulerResult] = {}
     fresh = dict(zip(pending, records))

@@ -365,13 +365,27 @@ class NodeBudget(TerminationCondition):
 
 @dataclass
 class MaxDepthCondition(TerminationCondition):
-    """Prune beyond a maximum tree depth (mostly for tests)."""
+    """Prune strictly beyond a maximum tree depth (mostly for tests).
+
+    Boundary contract (pinned by ``tests/test_termination_boundaries.py``):
+    a node at ``depth == max_depth`` is **kept** -- it may still close a
+    cycle or host an entering point -- and only nodes at ``depth >
+    max_depth`` are pruned.  Both backends implement the same comparison:
+    the scalar path evaluates ``holds`` on the node (its depth equals its
+    proper-ancestor count), the batched path evaluates
+    :meth:`frontier_mask` with ``child_depth`` (the depth every child of
+    the expanded node would have, i.e. parent depth + 1), so the two
+    terminate on the identical node set.
+    """
 
     max_depth: int
     name: str = "max-depth"
     supports_frontier_mask = True
 
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
+        depth_of = getattr(tree, "depth_of", None)
+        if depth_of is not None:
+            return depth_of(node) > self.max_depth
         depth = sum(1 for _ in tree.ancestors_of(node))
         return depth > self.max_depth
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Iterator, Optional, TypeVar
+from typing import Callable, Generic, Iterator, Optional, TypeVar
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -15,14 +15,26 @@ class BoundedLRU(Generic[K, V]):
     Backs the process-wide warm-start stores (materialised nets in the
     scheduling workers, T-invariant bases, serialized schedules): ``get``
     refreshes recency, ``put`` inserts and evicts the stalest entries.
+
+    ``on_evict`` (optional) is called with ``(key, value)`` for every entry
+    the store lets go of -- LRU displacement, overwrite of an existing key,
+    and :meth:`clear` -- so values owning external resources (e.g. attached
+    shared-memory views in a scheduling worker) can release them
+    deterministically instead of waiting for garbage collection.  Exceptions
+    raised by the callback propagate to the mutating call.
     """
 
-    __slots__ = ("capacity", "_store")
+    __slots__ = ("capacity", "_store", "on_evict")
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Optional[Callable[[K, V], None]] = None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.on_evict = on_evict
         self._store: "OrderedDict[K, V]" = OrderedDict()
 
     def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
@@ -32,12 +44,21 @@ class BoundedLRU(Generic[K, V]):
         return value
 
     def put(self, key: K, value: V) -> None:
+        previous = self._store.get(key)
         self._store[key] = value
         self._store.move_to_end(key)
+        if previous is not None and previous is not value and self.on_evict:
+            self.on_evict(key, previous)
         while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+            evicted_key, evicted_value = self._store.popitem(last=False)
+            if self.on_evict:
+                self.on_evict(evicted_key, evicted_value)
 
     def clear(self) -> None:
+        if self.on_evict:
+            while self._store:
+                key, value = self._store.popitem(last=False)
+                self.on_evict(key, value)
         self._store.clear()
 
     def __contains__(self, key: K) -> bool:

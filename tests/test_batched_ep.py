@@ -361,3 +361,93 @@ def test_auto_resolves_to_batched_for_default_options():
     assert resolve_backend_for(net, SchedulerOptions()) == "batched"
     result = find_schedule(net, "src")
     assert result.counters.batched_expansions > 0
+
+
+# ---------------------------------------------------------------------------
+# the chunked irrelevance frontier mask (fixed memory budget on deep paths)
+# ---------------------------------------------------------------------------
+
+
+def _random_irrelevance_inputs(n_children, depth, n_places, seed):
+    rng = np.random.default_rng(seed)
+    children = rng.integers(0, 4, size=(n_children, n_places), dtype=np.int64)
+    ancestors = rng.integers(0, 4, size=(depth, n_places), dtype=np.int64)
+    # plant some guaranteed-irrelevant pairs: child == ancestor + growth on a
+    # place the ancestor already saturates (degree 0 means always saturated)
+    degrees = rng.integers(0, 3, size=n_places, dtype=np.int64)
+    for child in range(0, n_children, 7):
+        ancestor = ancestors[child % depth].copy()
+        saturated = np.flatnonzero(ancestor >= degrees)
+        if saturated.size:
+            grown = ancestor.copy()
+            grown[saturated[0]] += 1
+            children[child] = grown
+    return children, ancestors, degrees
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_chunked_irrelevance_mask_is_bitwise_identical(seed):
+    from repro.petrinet.batched import irrelevance_frontier_mask
+
+    children, ancestors, degrees = _random_irrelevance_inputs(33, 500, 17, seed)
+    unchunked = irrelevance_frontier_mask(
+        children, ancestors, degrees, chunk_elements=1 << 62
+    )
+    for chunk_elements in (1, 64, 4096, 1 << 20):
+        chunked = irrelevance_frontier_mask(
+            children, ancestors, degrees, chunk_elements=chunk_elements
+        )
+        assert np.array_equal(chunked, unchunked), chunk_elements
+    # the default budget agrees too
+    assert np.array_equal(
+        irrelevance_frontier_mask(children, ancestors, degrees), unchunked
+    )
+
+
+def test_chunked_irrelevance_mask_handles_empty_inputs():
+    from repro.petrinet.batched import irrelevance_frontier_mask
+
+    degrees = np.zeros(4, dtype=np.int64)
+    empty_children = np.zeros((0, 4), dtype=np.int64)
+    some_children = np.zeros((2, 4), dtype=np.int64)
+    empty_ancestors = np.zeros((0, 4), dtype=np.int64)
+    assert irrelevance_frontier_mask(
+        empty_children, np.ones((3, 4), dtype=np.int64), degrees
+    ).shape == (0,)
+    assert not irrelevance_frontier_mask(
+        some_children, empty_ancestors, degrees
+    ).any()
+
+
+def test_depth_500_path_stays_under_the_memory_budget():
+    """The regression this chunking exists for: a deep path must not
+    materialise the O(children x depth x places) cube."""
+    import tracemalloc
+
+    from repro.petrinet.batched import (
+        IRRELEVANCE_CHUNK_ELEMENTS,
+        irrelevance_frontier_mask,
+    )
+
+    children, ancestors, degrees = _random_irrelevance_inputs(128, 500, 256, 3)
+    cube_bytes = children.shape[0] * ancestors.shape[0] * children.shape[1]
+    assert cube_bytes > 4 * IRRELEVANCE_CHUNK_ELEMENTS  # the cube would blow it
+
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        chunked = irrelevance_frontier_mask(children, ancestors, degrees)
+        _size, chunked_peak = tracemalloc.get_traced_memory()
+
+        tracemalloc.reset_peak()
+        unchunked = irrelevance_frontier_mask(
+            children, ancestors, degrees, chunk_elements=1 << 62
+        )
+        _size, unchunked_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert np.array_equal(chunked, unchunked)
+    # a handful of per-chunk boolean intermediates (int64 comparisons produce
+    # bool arrays of chunk size), nowhere near the full cube
+    assert chunked_peak < 16 * IRRELEVANCE_CHUNK_ELEMENTS, chunked_peak
+    assert unchunked_peak > chunked_peak * 2, (unchunked_peak, chunked_peak)

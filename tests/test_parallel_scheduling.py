@@ -129,6 +129,37 @@ def test_parallel_matches_serial_on_marked_graphs(transitions, seed, pool):
     assert_equivalent(net, serial, parallel)
 
 
+def test_external_executor_stays_identical_after_worker_cache_eviction():
+    """Schedules from a reused external executor survive worker-side eviction.
+
+    A single-worker pool is fed more distinct nets than the worker's
+    fingerprint LRU holds (capacity 4), forcing the first net's cached
+    materialisation -- and its shared-memory attachment, if any -- to be
+    evicted and detached; rescheduling that net afterwards must re-attach /
+    re-materialise and still produce byte-identical results.
+    """
+    from repro.scheduling.parallel import _MATERIALISED
+
+    builders = [
+        paper_nets.figure_4a,
+        paper_nets.figure_5,
+        paper_nets.figure_6,
+        paper_nets.figure_8,
+        lambda: paper_nets.figure_7(3),
+    ]
+    assert len(builders) > _MATERIALISED.capacity
+    with ProcessPoolExecutor(max_workers=1) as executor:
+        first_net = builders[0]()
+        before = find_all_schedules_parallel(first_net, executor=executor)
+        for builder in builders[1:]:
+            find_all_schedules_parallel(builder(), executor=executor)
+        # the single worker has now evicted figure_4a's entry
+        after = find_all_schedules_parallel(first_net, executor=executor)
+    serial = find_all_schedules(first_net)
+    assert_equivalent(first_net, serial, before)
+    assert_equivalent(first_net, serial, after)
+
+
 # ---------------------------------------------------------------------------
 # workload generator determinism (the explicit-RNG refactor)
 # ---------------------------------------------------------------------------

@@ -1,0 +1,149 @@
+"""Boundary semantics of depth/budget termination across both backends.
+
+The scalar backend evaluates ``MaxDepthCondition.holds`` on each node (its
+depth equals its proper-ancestor count); the batched backend evaluates
+``frontier_mask`` with ``child_depth`` (parent depth + 1) for a whole
+frontier at once.  Both must implement ``depth > max_depth`` -- a node *at*
+``max_depth`` is kept, its children are pruned -- and therefore terminate on
+the identical node set.  These tests pin that contract at the boundary
+values ``max_depth - 1`` / ``max_depth`` / ``max_depth + 1`` around the
+minimal schedulable depth, differentially across ``backend="scalar"`` and
+``"batched"``, so any future off-by-one in either path trips immediately.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import paper_nets
+from repro.apps.workloads import random_marked_graph, random_multi_source_net
+from repro.scheduling.ep import SchedulerOptions, find_schedule
+from repro.scheduling.serialize import schedule_to_json
+from repro.scheduling.termination import (
+    CompositeCondition,
+    IrrelevanceCriterion,
+    MaxDepthCondition,
+    NodeBudget,
+)
+
+
+def _run(net, source, max_depth, backend, max_nodes=5000):
+    termination = CompositeCondition(
+        [
+            IrrelevanceCriterion.for_net(net),
+            MaxDepthCondition(max_depth),
+            NodeBudget(max_nodes=max_nodes),
+        ]
+    )
+    return find_schedule(
+        net,
+        source,
+        options=SchedulerOptions(
+            termination=termination, backend=backend, max_nodes=max_nodes
+        ),
+    )
+
+
+def _observables(result):
+    counters = result.counters.as_dict()
+    for key in result.counters.BACKEND_ONLY:
+        counters.pop(key)
+    return (
+        result.success,
+        result.tree_nodes,
+        counters,
+        schedule_to_json(result.schedule)
+        if result.schedule is not None
+        else result.failure_reason,
+    )
+
+
+#: (builder, source, minimal max_depth at which a schedule exists) -- the
+#: minimal depths are behavioural pins of the figure nets themselves.
+MINIMAL_DEPTHS = [
+    (paper_nets.figure_5, "a", 3),
+    (paper_nets.figure_6, "a", 5),
+]
+
+
+@pytest.mark.parametrize(
+    "builder,source,minimal", MINIMAL_DEPTHS, ids=["figure_5", "figure_6"]
+)
+def test_minimal_depth_is_a_sharp_boundary(builder, source, minimal):
+    """depth == minimal schedules; minimal - 1 fails -- on both backends."""
+    for backend in ("scalar", "batched"):
+        below = _run(builder(), source, minimal - 1, backend)
+        assert not below.success, backend
+        at = _run(builder(), source, minimal, backend)
+        assert at.success, backend
+        above = _run(builder(), source, minimal + 1, backend)
+        assert above.success, backend
+        # the depth-(minimal) and depth-(minimal+1) schedules agree: the
+        # extra slack changes nothing once an entering point exists
+        assert schedule_to_json(at.schedule) == schedule_to_json(above.schedule)
+
+
+@pytest.mark.parametrize(
+    "builder,source,minimal", MINIMAL_DEPTHS, ids=["figure_5", "figure_6"]
+)
+def test_backends_agree_at_every_boundary_value(builder, source, minimal):
+    for max_depth in (minimal - 1, minimal, minimal + 1):
+        scalar = _observables(_run(builder(), source, max_depth, "scalar"))
+        batched = _observables(_run(builder(), source, max_depth, "batched"))
+        assert scalar == batched, f"max_depth={max_depth}"
+
+
+def test_backends_agree_across_depth_sweep_on_random_nets():
+    """Wider differential sweep: generated nets, every small depth bound."""
+    for seed in range(6):
+        rng = random.Random(seed)
+        nets = [
+            ("multi", random_multi_source_net(2, 3, rng=random.Random(seed))),
+            ("marked", random_marked_graph(4, rng=random.Random(seed))),
+        ]
+        for _label, net in nets:
+            sources = net.uncontrollable_sources()
+            if not sources:
+                continue
+            source = sources[rng.randrange(len(sources))]
+            for max_depth in range(0, 12):
+                scalar = _observables(_run(net, source, max_depth, "scalar"))
+                batched = _observables(_run(net, source, max_depth, "batched"))
+                assert scalar == batched, (seed, source, max_depth)
+
+
+def test_max_depth_holds_uses_the_stored_depth_fast_path():
+    """MaxDepthCondition.holds agrees with the O(depth) ancestor count."""
+    from repro.scheduling.ep import SchedulingTree
+
+    net = paper_nets.figure_5()
+    tree = SchedulingTree(net)
+    inet = tree.inet
+    root = tree.add_root(inet.initial_vec)
+    tid = inet.transition_index["a"]
+    child = tree.add_child(root, tid, inet.fire_vec(tid, inet.initial_vec))
+    assert tree.depth_of(root) == 0 and tree.depth_of(child) == 1
+    for max_depth in (0, 1, 2):
+        condition = MaxDepthCondition(max_depth)
+        for node in (root, child):
+            slow = sum(1 for _ in tree.ancestors_of(node)) > max_depth
+            assert condition.holds(tree, node) == slow
+
+
+def test_node_budget_boundary_is_on_the_node_index():
+    """NodeBudget prunes node index >= max_nodes, exactly, on both backends."""
+    for backend in ("scalar", "batched"):
+        net = paper_nets.figure_5()
+        termination = CompositeCondition(
+            [IrrelevanceCriterion.for_net(net), NodeBudget(max_nodes=2)]
+        )
+        result = find_schedule(
+            net,
+            "a",
+            options=SchedulerOptions(termination=termination, backend=backend),
+        )
+        assert not result.success, backend
+        # root (0) and the source child (1) exist; the budget stops index 2
+        assert result.tree_nodes >= 2, backend

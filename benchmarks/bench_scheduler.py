@@ -5,13 +5,22 @@
 * Ablation: T-invariant-guided ECS ordering vs. the plain tie-break ordering.
 
 Besides the pytest-benchmark harnesses, the module is a CLI that times the
-serial vs. parallel ``find_all_schedules`` paths -- for the scalar and the
-batched EP-search backend -- and writes the comparison to
+serial vs. parallel ``find_all_schedules`` paths -- for the scalar, batched
+and fused-kernel EP-search backends -- and writes the comparison to
 ``BENCH_scheduler.json``:
 
     PYTHONPATH=src python benchmarks/bench_scheduler.py --workers 4
-    PYTHONPATH=src python benchmarks/bench_scheduler.py --backend batched
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --backend kernel
     PYTHONPATH=src python benchmarks/bench_scheduler.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --profile
+
+With ``--profile`` each case additionally runs once under :mod:`cProfile`
+per backend and the top hot functions (by cumulative time) land in a
+``"profile"`` section of the JSON -- the table that motivated fusing the
+expand/mask/intern sequence into :mod:`repro.petrinet.kernel`.  The
+``"kernel"`` section records which tier (compiled numba loop or the NumPy
+reference) the timings actually exercised; on hosts without numba the
+compiled column is honestly absent rather than silently numpy.
 
 With ``--cache`` the persistent artifact cache (:mod:`repro.cache`) is
 activated first and a cache phase per case records the end-to-end scheduling
@@ -159,7 +168,84 @@ def _bench_case(
         scalar_s = per_backend["scalar"]["serial_seconds"]
         batched_s = per_backend["batched"]["serial_seconds"]
         row["batched_speedup"] = round(scalar_s / batched_s, 3) if batched_s else None
+    if "scalar" in per_backend and "kernel" in per_backend:
+        scalar_s = per_backend["scalar"]["serial_seconds"]
+        kernel_s = per_backend["kernel"]["serial_seconds"]
+        row["kernel_speedup"] = round(scalar_s / kernel_s, 3) if kernel_s else None
+    if "batched" in per_backend and "kernel" in per_backend:
+        batched_s = per_backend["batched"]["serial_seconds"]
+        kernel_s = per_backend["kernel"]["serial_seconds"]
+        row["kernel_vs_batched"] = (
+            round(batched_s / kernel_s, 3) if kernel_s else None
+        )
     return row
+
+
+# ---------------------------------------------------------------------------
+# --profile: the cProfile hot-function table
+# ---------------------------------------------------------------------------
+
+PROFILE_TOP_N = 15
+
+
+def _profile_case(name: str, net, *, backends: Sequence[str]) -> Dict[str, object]:
+    """One profiled serial ``find_all_schedules`` run per backend.
+
+    Returns the top :data:`PROFILE_TOP_N` functions by cumulative time --
+    the table that identifies where a backend actually spends its wall
+    clock (this is how the expand/mask/intern dispatch sequence was found
+    worth fusing).
+    """
+    import cProfile
+    import pstats
+
+    rows = []
+    for backend in backends:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        find_all_schedules(net, backend=backend)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        top = []
+        for func in stats.fcn_list[:PROFILE_TOP_N]:  # (file, line, name)
+            cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+            filename, line, func_name = func
+            top.append(
+                {
+                    "function": func_name,
+                    "file": os.path.basename(filename) if filename else filename,
+                    "line": line,
+                    "calls": ncalls,
+                    "primitive_calls": cc,
+                    "total_seconds": round(tottime, 6),
+                    "cumulative_seconds": round(cumtime, 6),
+                }
+            )
+        rows.append({"case": name, "backend": backend, "top": top})
+    return rows
+
+
+def _run_profile_phase(cases, *, backends: Sequence[str]) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for name, net in cases:
+        rows.extend(_profile_case(name, net, backends=backends))
+    return rows
+
+
+def _kernel_info() -> Dict[str, object]:
+    """Which fused-kernel tier this host's timings exercised, and why."""
+    from repro.petrinet.kernel import (
+        compiled_tier_available,
+        kernel_enabled,
+        resolve_kernel_tier,
+    )
+
+    return {
+        "tier": resolve_kernel_tier(warn=False),
+        "enabled": kernel_enabled(),
+        "compiled_available": compiled_tier_available(),
+    }
 
 
 def _shm_case(name: str, net, *, workers: int) -> Dict[str, object]:
@@ -310,10 +396,11 @@ def run_cli_bench(
     workers: int,
     quick: bool = False,
     repeats: Optional[int] = None,
-    backends: Sequence[str] = ("scalar", "batched"),
+    backends: Sequence[str] = ("scalar", "batched", "kernel"),
     cache: bool = False,
     cache_dir: Optional[str] = None,
     cache_clear: bool = False,
+    profile: bool = False,
 ) -> Dict[str, object]:
     repeats = repeats or (1 if quick else 3)
     cases = [
@@ -342,20 +429,28 @@ def run_cli_bench(
             _bench_case(name, net, backends=backends, workers=workers, repeats=repeats)
             for name, net in cases
         ]
+        profile_rows = (
+            _run_profile_phase(cases, backends=backends) if profile else None
+        )
     shm_info = _run_shm_phase(cases, workers=workers)
     cpu_count = os.cpu_count() or 1
     report: Dict[str, object] = {
-        "benchmark": "find_all_schedules: serial vs parallel, scalar vs batched",
+        "benchmark": (
+            "find_all_schedules: serial vs parallel, scalar vs batched vs kernel"
+        ),
         "backends": list(backends),
         "workers": workers,
         "cpu_count": cpu_count,
         "workers_exceed_cores": workers > cpu_count,
         "python": sys.version.split()[0],
         "quick": quick,
+        "kernel": _kernel_info(),
         "cache": cache_info,
         "shm": shm_info,
         "cases": rows,
     }
+    if profile_rows is not None:
+        report["profile"] = {"top_n": PROFILE_TOP_N, "cases": profile_rows}
     if workers > cpu_count:
         # the recorded parallel_speedup < 1 is then a property of the host,
         # not of the parallel layer; say so next to the numbers
@@ -379,10 +474,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("scalar", "batched", "auto", "both"),
-        default="both",
-        help="EP-search backend to time; 'both' runs scalar and batched and "
-        "reports the batched speedup (default: both)",
+        choices=("scalar", "batched", "kernel", "auto", "both", "all"),
+        default="all",
+        help="EP-search backend to time; 'all' runs scalar, batched and "
+        "kernel and reports the relative speedups; 'both' keeps the "
+        "pre-kernel scalar+batched pair (default: all)",
     )
     parser.add_argument(
         "--quick",
@@ -415,12 +511,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="cache directory for --cache (default: $REPRO_CACHE_DIR or .cache/repro)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally run each case once per backend under cProfile and "
+        "record the top hot functions in a 'profile' section of the JSON",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_scheduler.json",
         help="where to write the JSON report (default: ./BENCH_scheduler.json)",
     )
     args = parser.parse_args(argv)
-    backends = ("scalar", "batched") if args.backend == "both" else (args.backend,)
+    if args.backend == "all":
+        backends = ("scalar", "batched", "kernel")
+    elif args.backend == "both":
+        backends = ("scalar", "batched")
+    else:
+        backends = (args.backend,)
     if args.no_cache:
         import repro.cache as artifact_cache
 
@@ -433,6 +540,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache=args.cache and not args.no_cache,
         cache_dir=args.cache_dir,
         cache_clear=args.cache_clear,
+        profile=args.profile,
     )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -465,21 +573,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"disk_hits={cache_info['disk_hits']}, "
             f"warm_process={cache_info['warm_process']}"
         )
+    kernel_info = report["kernel"]
+    print(
+        f"kernel tier: {kernel_info['tier']} "
+        f"(compiled_available={kernel_info['compiled_available']})"
+    )
     for row in report["cases"]:
         timings = " ".join(
             f"{backend}: serial={data['serial_seconds']:.3f}s "
             f"parallel[{args.workers}]={data['parallel_seconds']:.3f}s"
             for backend, data in row["backends"].items()
         )
-        extra = (
-            f" batched_speedup={row['batched_speedup']}x"
-            if "batched_speedup" in row
-            else ""
+        extra = "".join(
+            f" {key}={row[key]}x"
+            for key in ("batched_speedup", "kernel_speedup", "kernel_vs_batched")
+            if key in row
         )
         print(
             f"{row['case']:<18} sources={row['sources']:<3} {timings}"
             f"{extra} identical={row['identical_schedules']}"
         )
+    if "profile" in report:
+        for entry in report["profile"]["cases"]:
+            hottest = entry["top"][0] if entry["top"] else None
+            if hottest:
+                print(
+                    f"profile {entry['case']:<14} {entry['backend']:<8} "
+                    f"hottest={hottest['function']} "
+                    f"cum={hottest['cumulative_seconds']:.3f}s"
+                )
     print(f"wrote {args.output}")
     if not all(row["identical_schedules"] for row in report["cases"]):
         print("ERROR: schedules diverge across backends/parallelism", file=sys.stderr)

@@ -339,7 +339,10 @@ def reachable_matrix(
     transition) pair, dedup via hashed rows.  Returns the matrix of explored
     markings (first row = initial marking, rows in BFS discovery order).
     """
+    from repro.petrinet.indexed import MarkingStore
+
     inet = net.indexed()
+    store = MarkingStore()  # canonical successor vectors via bulk interning
     seen: Dict[MarkingVec, int] = {}
     rows: List[MarkingVec] = []
 
@@ -366,8 +369,7 @@ def reachable_matrix(
             if firing_rows.shape[0] == 0:
                 continue
             successors = fire_rows(inet, firing_rows, tid)
-            for row in successors:
-                vec = tuple(int(v) for v in row)
+            for vec in store.intern_rows(successors):
                 if admit(vec):
                     next_frontier.append(vec)
             if len(rows) >= max_nodes:

@@ -53,6 +53,12 @@ class MarkingStore:
         self._store: Dict[MarkingVec, MarkingVec] = {}
 
     def intern(self, vec: MarkingVec) -> MarkingVec:
+        """Return the canonical instance of ``vec``, admitting it if new.
+
+        Two structurally equal markings interned through the same store come
+        back as the *same* tuple object, so the schedulers can compare path
+        ancestors by identity instead of element-wise equality.
+        """
         canonical = self._store.get(vec)
         if canonical is None:
             self._store[vec] = vec
@@ -68,6 +74,26 @@ class MarkingStore:
         store = self._store
         result: List[MarkingVec] = []
         for vec in vecs:
+            canonical = store.get(vec)
+            if canonical is None:
+                store[vec] = vec
+                canonical = vec
+            result.append(canonical)
+        return result
+
+    def intern_rows(self, matrix) -> List[MarkingVec]:
+        """Bulk-intern the rows of a raw int64 buffer (order preserved).
+
+        ``matrix`` is anything with NumPy's ``tolist`` ((n, n_places),
+        typically a frontier or reachability matrix); conversion to marking
+        tuples happens in one C-level pass instead of a Python ``int()``
+        per element, then each row is admitted like :meth:`intern`.  This is
+        the admission step of the fused kernel layer: matrix producers hand
+        their buffer straight to the store and get canonical vectors back.
+        """
+        store = self._store
+        result: List[MarkingVec] = []
+        for vec in map(tuple, matrix.tolist()):
             canonical = store.get(vec)
             if canonical is None:
                 store[vec] = vec

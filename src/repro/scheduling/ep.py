@@ -16,7 +16,7 @@ After a successful search, post-processing retains only the chosen ECSs and
 closes cycles by merging each leaf with the ancestor carrying the same
 marking, yielding a :class:`~repro.scheduling.schedule.Schedule`.
 
-Two observationally equivalent backends drive the hot loop
+Three observationally equivalent backends drive the hot loop
 (``SchedulerOptions.backend``):
 
 * ``"scalar"`` walks one transition at a time, exactly as the paper states
@@ -27,13 +27,23 @@ Two observationally equivalent backends drive the hot loop
   bounds, depth) become boolean masks against the dense path-ancestor
   matrix, and the surviving children are interned in one
   :class:`MarkingStore` pass.  Node selection, ECS ordering and
-  await-insertion stay scalar and deterministic, so both backends produce
+  await-insertion stay scalar and deterministic, so all backends produce
   byte-identical canonical schedules and identical search counters (modulo
-  the batched-only ``batched_expansions``); ``tests/test_batched_ep.py``
-  pins the equivalence differentially.
+  the :data:`SearchCounters.BACKEND_ONLY` expansion tallies);
+  ``tests/test_batched_ep.py`` pins the equivalence differentially.
+* ``"kernel"`` keeps the batched orchestration but routes each node
+  expansion through the fused kernel
+  (:class:`~repro.petrinet.kernel.ExpansionKernel`): child rows, bound /
+  depth verdicts and the over-degree pre-filter come from one call over
+  contiguous int64 buffers (a ``numba``-compiled loop when available,
+  ``REPRO_KERNEL=0`` or a missing compiler degrades to the NumPy tier with
+  a ``RuntimeWarning``), and the irrelevance criterion is decided
+  *incrementally* against the path marking index instead of the O(depth)
+  ancestor broadcast.
 
-``"auto"`` (the default) picks the batched backend whenever it applies: the
-termination condition must decompose into frontier masks plus node budgets
+``"auto"`` (the default) picks the kernel backend whenever the frontier
+machinery applies: the termination condition must decompose into frontier
+masks plus node budgets
 (:func:`~repro.scheduling.termination.split_frontier_conditions`) and token
 counts must stay safely inside int64 (see :func:`resolve_backend_for`).
 """
@@ -104,9 +114,16 @@ class SchedulerOptions:
     * ``defer_sources`` -- the Section 4.4 pruning rule: fire source ECSs
       only when nothing else yields an entering point.
     * ``backend`` -- the hot-loop implementation: ``"scalar"``,
-      ``"batched"``, or ``"auto"`` (default; batched whenever it applies,
-      see :func:`resolve_backend_for`).  Backends are observationally
-      equivalent; the knob trades wall clock only.
+      ``"batched"``, ``"kernel"``, or ``"auto"`` (default; the fused kernel
+      whenever it applies, see :func:`resolve_backend_for`).  Backends are
+      observationally equivalent; the knob trades wall clock only.
+    * ``kernel_tier`` -- pins the kernel backend's execution tier
+      (``"compiled"`` | ``"numpy"``); ``None`` resolves automatically
+      (compiled when numba is available and ``REPRO_KERNEL`` allows it,
+      NumPy otherwise -- see
+      :func:`repro.petrinet.kernel.resolve_kernel_tier`).  Parallel
+      fan-outs pin the resolved tier into the options they ship so every
+      worker runs the coordinator's decision.
 
     Example::
 
@@ -128,10 +145,13 @@ class SchedulerOptions:
     # entering point.  This keeps schedules small (few await nodes) and
     # avoids deferring part of a reaction to the next environment event.
     defer_sources: bool = True
-    # Hot-loop implementation: "scalar" | "batched" | "auto".  The backends
-    # are observationally equivalent (same schedules, same counters modulo
-    # batched_expansions); "auto" resolves per search via resolve_backend_for.
+    # Hot-loop implementation: "scalar" | "batched" | "kernel" | "auto".
+    # The backends are observationally equivalent (same schedules, same
+    # counters modulo the BACKEND_ONLY expansion tallies); "auto" resolves
+    # per search via resolve_backend_for.
     backend: str = "auto"
+    # Kernel-backend execution tier: "compiled" | "numpy" | None (auto).
+    kernel_tier: Optional[str] = None
 
 
 @dataclass
@@ -146,11 +166,14 @@ class SearchCounters:
     # batched-backend only: whole-frontier expansions (matrix fire + masks).
     # Every other counter is backend-independent by the equivalence contract.
     batched_expansions: int = 0
+    # kernel-backend only: whole-frontier expansions through the fused
+    # ExpansionKernel (the kernel's analogue of batched_expansions).
+    kernel_expansions: int = 0
 
-    #: counters that legitimately differ between the scalar and batched
-    #: backends; everything else must match exactly (the differential tests
-    #: compare ``as_dict`` minus these keys).
-    BACKEND_ONLY = ("batched_expansions",)
+    #: counters that legitimately differ between the scalar, batched and
+    #: kernel backends; everything else must match exactly (the differential
+    #: tests compare ``as_dict`` minus these keys).
+    BACKEND_ONLY = ("batched_expansions", "kernel_expansions")
 
     def as_dict(self) -> Dict[str, int]:
         """Plain ``{counter: value}`` dict (JSON-friendly, cache-stable)."""
@@ -164,6 +187,7 @@ class SearchCounters:
         self.enabled_updates += other.enabled_updates
         self.interned_markings += other.interned_markings
         self.batched_expansions += other.batched_expansions
+        self.kernel_expansions += other.kernel_expansions
 
     @classmethod
     def aggregate(cls, counters: "Iterable[SearchCounters]") -> "SearchCounters":
@@ -228,6 +252,11 @@ class SchedulingTree:
         # state of the current DFS path (root .. current node)
         self._path: List[int] = []
         self._markings_on_path: Dict[MarkingVec, int] = {}
+        # multiset of the path markings' total token counts -- the running
+        # ancestor-comparison state of the incremental irrelevance check
+        # (a candidate witness marking can only exist on the path if some
+        # path marking carries its exact token total)
+        self._path_total_counts: Dict[int, int] = {}
         self._path_firings: Dict[str, int] = {}
         # dense mirrors of the path state (markings matrix, per-tid firing
         # counts), maintained only for the batched backend (enable_path_matrix)
@@ -376,6 +405,8 @@ class SchedulingTree:
                 self._fired_by_tid[tree_node.tid] += 1
         if tree_node.vec not in self._markings_on_path:
             self._markings_on_path[tree_node.vec] = node
+        total = tree_node.total_tokens
+        self._path_total_counts[total] = self._path_total_counts.get(total, 0) + 1
         if tree_node.transition is not None:
             self._path_firings[tree_node.transition] = (
                 self._path_firings.get(tree_node.transition, 0) + 1
@@ -389,10 +420,34 @@ class SchedulingTree:
             self._fired_by_tid[tree_node.tid] -= 1
         if self._markings_on_path.get(tree_node.vec) == node:
             del self._markings_on_path[tree_node.vec]
+        total = tree_node.total_tokens
+        remaining = self._path_total_counts[total] - 1
+        if remaining:
+            self._path_total_counts[total] = remaining
+        else:
+            del self._path_total_counts[total]
         if tree_node.transition is not None:
             self._path_firings[tree_node.transition] -= 1
             if not self._path_firings[tree_node.transition]:
                 del self._path_firings[tree_node.transition]
+
+    def path_probe_state(self, node: int):
+        """Path state for the incremental irrelevance check, or ``None``.
+
+        Returns ``(marking_index, total_counts)`` -- the vec -> node map and
+        the token-total multiset of the current DFS path -- but only when
+        ``node``'s proper ancestors are exactly the path markings: ``node``
+        is the top of the path (then the path also holds its own marking,
+        which the checker never probes since witnesses differ from the
+        candidate) or a fresh child of the top (a scalar lookahead probe).
+        Any other node gets ``None`` and the caller's ancestor walk.
+        """
+        if not self._path:
+            return None
+        top = self._path[-1]
+        if top == node or self.nodes[node].parent == top:
+            return self._markings_on_path, self._path_total_counts
+        return None
 
     def equal_marking_ancestor(self, node: int) -> Optional[int]:
         """Proper ancestor on the current path carrying the same marking."""
@@ -442,7 +497,11 @@ class SchedulerResult:
         return self.schedule is not None
 
 
-BACKENDS = ("auto", "scalar", "batched")
+BACKENDS = ("auto", "scalar", "batched", "kernel")
+
+#: backends that run the frontier machinery (dense path matrix, frontier
+#: splits, batched lookahead); "kernel" additionally fuses each expansion.
+MATRIX_BACKENDS = ("batched", "kernel")
 
 
 def resolve_backend_for(
@@ -452,13 +511,16 @@ def resolve_backend_for(
 ) -> str:
     """Resolve ``options.backend`` to the concrete backend a search will use.
 
-    ``"batched"`` applies when NumPy is importable, the termination condition
-    decomposes into frontier masks plus node budgets, and the worst-case
-    token count (initial tokens plus one delta per possible tree node) stays
-    below the int64 guard -- otherwise the search falls back to ``"scalar"``,
-    whose Python-int arithmetic is exact at any magnitude.  The resolution is
-    deterministic in (net structure, options), so parallel workers reach the
-    same decision as the caller.
+    ``"batched"`` and ``"kernel"`` apply when NumPy is importable, the
+    termination condition decomposes into frontier masks plus node budgets,
+    and the worst-case token count (initial tokens plus one delta per
+    possible tree node) stays below the int64 guard -- otherwise the search
+    falls back to ``"scalar"``, whose Python-int arithmetic is exact at any
+    magnitude.  ``"auto"`` resolves to ``"kernel"`` (the fused superset of
+    the batched path); which kernel *tier* runs is a separate, per-process
+    decision (:func:`repro.petrinet.kernel.resolve_kernel_tier`) that never
+    changes results.  The resolution is deterministic in (net structure,
+    options), so parallel workers reach the same decision as the caller.
     """
     requested = options.backend
     if requested not in BACKENDS:
@@ -484,7 +546,7 @@ def resolve_backend_for(
     # add_child), so no marking can exceed this bound along any path.
     if max_initial + (options.max_nodes + 8) * max_delta >= FRONTIER_TOKEN_GUARD:
         return "scalar"
-    return "batched"
+    return "batched" if requested == "batched" else "kernel"
 
 
 class _Frontier:
@@ -567,10 +629,17 @@ class _EPSearch:
         }
         self.backend = resolve_backend_for(net, options, self.termination)
         self._split: Optional[FrontierSplit] = None
-        if self.backend == "batched":
+        self._kernel = None
+        if self.backend in MATRIX_BACKENDS:
             self._split = split_frontier_conditions(self.termination)
             assert self._split is not None  # guaranteed by resolve_backend_for
             self.tree.enable_path_matrix()
+            if self.backend == "kernel":
+                from repro.petrinet.kernel import ExpansionKernel
+
+                self._kernel = ExpansionKernel(
+                    self.inet, self._split, tier=options.kernel_tier
+                )
 
     def _fire(self, tid: int, vec) -> tuple:
         self.counters.fires += 1
@@ -589,7 +658,13 @@ class _EPSearch:
         ``vecs[i]`` at ``child_depth``, except for the node-budget leaves,
         which the caller checks per node (:meth:`FrontierSplit.budget_holds`)
         because a child's index is only known when it is created.
+
+        Under the kernel backend the whole sequence is one fused
+        :meth:`ExpansionKernel.expand` call (same contract, same bits).
         """
+        if self._kernel is not None:
+            self.counters.kernel_expansions += 1
+            return self._kernel.expand(self.tree, vec, tids, child_depth)
         from repro.petrinet.batched import expand_children
 
         self.counters.batched_expansions += 1
@@ -693,7 +768,7 @@ class _EPSearch:
         try:
             self.tree.push(root)
             child_pruned: Optional[bool] = None
-            if self.backend == "batched":
+            if self._split is not None:
                 # the root's one-transition frontier: the source firing
                 _vecs, pruned = self._expand(initial, (source_tid,), 1)
                 child_pruned = pruned[0]
@@ -765,7 +840,7 @@ class _EPSearch:
         if len(enabled) == 1:
             ordered = list(enabled)
         else:
-            if self.backend == "batched":
+            if self._split is not None:
                 frontier, lookahead = self._batched_lookahead(v, enabled_ids, enabled)
             else:
                 vec = self.tree.vec_of(v)
@@ -850,7 +925,7 @@ class _EPSearch:
         tids = self._ecs_tids[ecs_id]
         child_vecs: Optional[List[MarkingVec]] = None
         child_pruned: Optional[List[bool]] = None
-        if self.backend == "batched":
+        if self._split is not None:
             segment = frontier.segments.get(ecs) if frontier is not None else None
             if segment is not None:
                 # the lookahead already fired this ECS's candidates
@@ -1005,8 +1080,9 @@ def find_all_schedules(
     deterministic source order.
 
     ``backend`` overrides ``options.backend`` ("scalar" | "batched" |
-    "auto"); both hot-loop backends produce byte-identical schedules, so the
-    knob only trades wall clock (and the ``batched_expansions`` counter).
+    "kernel" | "auto"); the hot-loop backends produce byte-identical
+    schedules, so the knob only trades wall clock (and the per-backend
+    expansion counters).
 
     When the persistent artifact cache is active (``repro.cache.activate()``
     or ``REPRO_CACHE=1``), each per-source search first consults the

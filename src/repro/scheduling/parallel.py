@@ -324,7 +324,19 @@ def find_all_schedules_parallel(
         # Resolve "auto" on the caller: the decision is deterministic in (net,
         # options), but pinning the concrete backend into the shipped options
         # makes every worker's choice visible and independent of its environment.
-        options = replace(options, backend=resolve_backend_for(net, options))
+        # The kernel tier is pinned the same way -- workers run the
+        # coordinator's compiled/numpy decision (and only the coordinator
+        # emits the fallback RuntimeWarning), re-degrading locally only if
+        # their own environment cannot honour a "compiled" pin.
+        resolved_backend = resolve_backend_for(net, options)
+        resolved_tier = options.kernel_tier
+        if resolved_backend == "kernel":
+            from repro.petrinet.kernel import resolve_kernel_tier
+
+            resolved_tier = resolve_kernel_tier(options.kernel_tier)
+        options = replace(
+            options, backend=resolved_backend, kernel_tier=resolved_tier
+        )
         options_blob = pickle.dumps(options, protocol=pickle.HIGHEST_PROTOCOL)
 
         def payload_supplier() -> bytes:

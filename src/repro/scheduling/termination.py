@@ -44,15 +44,29 @@ class SchedulingTreeView(Protocol):
 
 
 class TerminationCondition:
-    """Base class: callable on (tree, node) -> bool."""
+    """Base class: callable on (tree, node) -> bool.
+
+    **Extending** -- subclasses must implement :meth:`holds`.  A condition
+    whose verdict depends only on the candidate marking, its tree depth and
+    the markings on the path to it should *also* implement
+    :meth:`frontier_mask` and set :attr:`supports_frontier_mask`; that pair
+    is the public extension point that keeps the batched and kernel EP
+    backends available (a condition without it forces the scalar backend,
+    see :func:`split_frontier_conditions`).  The contract is pinned by
+    ``tests/test_kernel.py`` and worked through in
+    ``docs/user_guide.md`` ("Custom termination conditions").
+    """
 
     name = "termination"
 
-    #: True for conditions whose verdict depends only on the candidate
-    #: marking, its depth and the markings on the path to it -- the ones the
-    #: batched EP backend can evaluate for a whole frontier at once via
-    #: :meth:`frontier_mask`.  Index-dependent conditions (:class:`NodeBudget`)
-    #: and arbitrary user conditions leave this False.
+    #: **Public extension point** (with :meth:`frontier_mask`).  True for
+    #: conditions whose verdict depends only on the candidate marking, its
+    #: depth and the markings on the path to it -- the ones the batched and
+    #: kernel EP backends can evaluate for a whole frontier at once via
+    #: :meth:`frontier_mask`.  Index-dependent conditions
+    #: (:class:`NodeBudget`) and conditions inspecting other tree state must
+    #: leave this False, which restricts searches using them to the scalar
+    #: backend.
     supports_frontier_mask = False
 
     def holds(self, tree: SchedulingTreeView, node: int) -> bool:
@@ -62,12 +76,22 @@ class TerminationCondition:
     def frontier_mask(self, inet, ancestors, children, child_depth: int):
         """Batched verdicts for a whole frontier (boolean, one per child row).
 
-        ``ancestors`` is the ``(depth, n_places)`` matrix of markings on the
-        path from the root to the expanded node (the node included),
-        ``children`` the ``(n_children, n_places)`` candidate markings, and
-        ``child_depth`` the tree depth every child would have.  Must agree
-        with :meth:`holds` evaluated on a child node hanging off the expanded
-        node.  Only meaningful when :attr:`supports_frontier_mask` is True.
+        **Public extension point** (with :attr:`supports_frontier_mask`):
+        user-defined conditions that implement this pair are evaluated
+        frontier-at-a-time and keep the batched/kernel backends instead of
+        silently forcing the scalar one.
+
+        ``inet`` is the :class:`~repro.petrinet.indexed.IndexedNet`
+        snapshot, ``ancestors`` the ``(depth, n_places)`` int64 matrix of
+        markings on the path from the root to the expanded node (the node
+        included, rows in any order), ``children`` the ``(n_children,
+        n_places)`` candidate child markings, and ``child_depth`` the tree
+        depth every child would have (expanded node's depth + 1).  Returns
+        a boolean array of ``n_children`` verdicts and must agree exactly
+        with :meth:`holds` evaluated on a child node hanging off the
+        expanded node -- the backends' byte-identical-schedule contract
+        rests on that equivalence.  Only called when
+        :attr:`supports_frontier_mask` is True.
         """
         raise NotImplementedError(f"{self.name} has no batched form")
 
@@ -107,6 +131,12 @@ class IrrelevanceCriterion(TerminationCondition):
     _degrees_np: Optional[object] = field(
         default=None, init=False, repr=False, compare=False
     )
+    _incremental_for: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _incremental: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __getstate__(self) -> Dict[str, object]:
         # The dense-degree cache pins an IndexedNet (and through it the whole
@@ -116,6 +146,8 @@ class IrrelevanceCriterion(TerminationCondition):
         state["_degrees_vec_for"] = None
         state["_degrees_vec"] = ()
         state["_degrees_np"] = None
+        state["_incremental_for"] = None
+        state["_incremental"] = None
         return state
 
     @classmethod
@@ -137,6 +169,21 @@ class IrrelevanceCriterion(TerminationCondition):
             self._degrees_np = None
             self._degrees_vec_for = inet
         return self._degrees_vec
+
+    def incremental_for(self, inet):
+        """The depth-independent checker for a snapshot (cached, shared).
+
+        One :class:`~repro.petrinet.kernel.IncrementalIrrelevance` per
+        (criterion, snapshot): the scalar ``holds`` fast path and the fused
+        kernel backend share it, so its op counters describe the whole
+        search (the depth-regression tests assert on them).
+        """
+        if self._incremental_for is not inet:
+            from repro.petrinet.kernel import IncrementalIrrelevance
+
+            self._incremental = IncrementalIrrelevance(self.degrees_vec(inet))
+            self._incremental_for = inet
+        return self._incremental
 
     def frontier_mask(self, inet, ancestors, children, child_depth: int):
         """Batched Definition 4.5 over a whole frontier (one broadcast)."""
@@ -176,8 +223,30 @@ class IrrelevanceCriterion(TerminationCondition):
         return True
 
     def _holds_vec(self, tree, inet, node: int) -> bool:
-        """Dense fast path over marking vectors (no Marking construction)."""
+        """Dense fast path over marking vectors (no Marking construction).
+
+        When the tree exposes its path marking index
+        (``path_probe_state``), the verdict comes from the incremental
+        checker -- O(over-degree places) hash probes instead of an O(depth)
+        ancestor walk, bitwise identical (the witness set enumerated by
+        :class:`~repro.petrinet.kernel.IncrementalIrrelevance` is exactly
+        the set of path markings satisfying Definition 4.5).  The walk
+        remains as the exact fallback for capped children and for trees
+        without path state.
+        """
         degrees = self.degrees_vec(inet)
+        probe_state = getattr(tree, "path_probe_state", None)
+        if probe_state is not None:
+            state = probe_state(node)
+            if state is not None:
+                verdict = self.incremental_for(inet).check(
+                    tree.vec_of(node),
+                    state[0],
+                    state[1],
+                    tree.total_tokens_of(node),
+                )
+                if verdict is not None:
+                    return verdict
         vec = tree.vec_of(node)
         totals = tree.total_tokens_of
         current_total = totals(node)
@@ -440,6 +509,9 @@ def split_frontier_conditions(
     :class:`NodeBudget` -- e.g. an arbitrary user-supplied condition, whose
     ``holds`` may inspect tree state the batched backend does not
     materialise.  The scheduler then falls back to the scalar backend.
+    User conditions that *do* implement the
+    :meth:`TerminationCondition.frontier_mask` extension point decompose
+    like the built-ins and keep the batched/kernel backends.
     """
     split = FrontierSplit()
 

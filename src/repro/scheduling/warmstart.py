@@ -82,9 +82,31 @@ def options_cache_key(options: SchedulerOptions) -> Optional[Tuple]:
         options.invariant_precheck,
         options.defer_sources,
         # backends are schedule-equivalent, but the counters they record
-        # differ (batched_expansions); keep replayed records honest
+        # differ (batched_expansions / kernel_expansions); keep replayed
+        # records honest
         options.backend,
+        # the resolved kernel tier never changes results, but keying on it
+        # keeps each tier's recorded counters/timings attributable (and a
+        # pinned-options fan-out hits the same entries as its workers)
+        _effective_kernel_tier(options),
     )
+
+
+def _effective_kernel_tier(options: SchedulerOptions) -> Optional[str]:
+    """The kernel tier a search under ``options`` would run, or ``None``.
+
+    ``None`` for searches that can never reach the kernel backend (explicit
+    scalar/batched requests); otherwise the pinned ``options.kernel_tier``
+    or the process-wide resolution (without triggering the fallback
+    warning -- key derivation is not a search).
+    """
+    if options.backend not in ("auto", "kernel"):
+        return None
+    if options.kernel_tier is not None:
+        return options.kernel_tier
+    from repro.petrinet.kernel import resolve_kernel_tier
+
+    return resolve_kernel_tier(warn=False)
 
 
 @dataclass

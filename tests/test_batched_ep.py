@@ -1,20 +1,25 @@
-"""Differential harness pinning the batched EP backend to the scalar one.
+"""Differential harness pinning the batched and kernel EP backends to scalar.
 
 The batched backend rewrites the innermost loop of the scheduler -- frontier
-expansion, termination masks, marking interning -- behind an equivalence
-contract: for any net and any supported options, it must produce the same
-canonical schedule (byte-identical under :func:`schedule_to_json`), the same
-failure reason, the same tree, and the same :class:`SearchCounters` modulo
-the counters listed in ``SearchCounters.BACKEND_ONLY``.
+expansion, termination masks, marking interning -- and the kernel backend
+fuses that loop further (one call over contiguous buffers, incremental
+irrelevance); both sit behind one equivalence contract: for any net and any
+supported options, every backend must produce the same canonical schedule
+(byte-identical under :func:`schedule_to_json`), the same failure reason,
+the same tree, and the same :class:`SearchCounters` modulo the counters
+listed in ``SearchCounters.BACKEND_ONLY``.
 
 This module enforces the contract three ways:
 
 * a seeded fuzz sweep over 200+ generated nets (marked graphs, choice
-  diamonds, multi-source rings) running both backends side by side;
+  diamonds, multi-source rings) running the three backends side by side;
 * edge cases the fuzzers are unlikely to hit: empty frontiers, one-place
   nets, bound-saturated frontiers, all-irrelevant frontiers, token counts
   at the int64 guard;
 * unit tests of the frontier primitives and the backend resolution rules.
+
+Kernel-specific behaviour (tier resolution, the fallback warning, the
+incremental irrelevance checker itself) lives in ``tests/test_kernel.py``.
 """
 
 from __future__ import annotations
@@ -74,14 +79,24 @@ def assert_results_equivalent(scalar, batched):
         )
 
 
-def run_both_backends(net, source, *, max_nodes=600, termination=None):
+ALL_BACKENDS = ("scalar", "batched", "kernel")
+
+
+def run_all_backends(net, source, *, max_nodes=600, termination=None):
+    """One search per backend; returns (scalar, batched, kernel) results.
+
+    The scalar/kernel pair is asserted equivalent here, so the many edge
+    tests that only unpack ``scalar, batched`` still exercise the full
+    three-way contract.
+    """
     results = {}
-    for backend in ("scalar", "batched"):
+    for backend in ALL_BACKENDS:
         options = SchedulerOptions(
             max_nodes=max_nodes, backend=backend, termination=termination
         )
         results[backend] = find_schedule(net, source, options=options)
-    return results["scalar"], results["batched"]
+    assert_results_equivalent(results["scalar"], results["kernel"])
+    return results["scalar"], results["batched"], results["kernel"]
 
 
 # ---------------------------------------------------------------------------
@@ -113,24 +128,32 @@ def test_fuzz_sweep_covers_at_least_200_nets():
 def test_differential_fuzz_scalar_vs_batched(kind, seed):
     net = build_fuzz_net(kind, seed)
     for source in net.uncontrollable_sources():
-        scalar, batched = run_both_backends(net, source)
+        scalar, batched, kernel = run_all_backends(net, source)
         assert_results_equivalent(scalar, batched)
 
 
-def test_fuzz_sweep_exercises_the_batched_path():
-    """The generated nets must actually run batched (no silent fallbacks)."""
+def test_fuzz_sweep_exercises_the_batched_and_kernel_paths():
+    """The generated nets must actually run batched/kernel (no silent fallbacks)."""
     batched_runs = 0
+    kernel_runs = 0
     successes = 0
     for kind, seed in FUZZ_CASES[::7]:
         net = build_fuzz_net(kind, seed)
         options = SchedulerOptions(max_nodes=600, backend="batched")
         assert resolve_backend_for(net, options) == "batched"
+        kernel_options = SchedulerOptions(max_nodes=600, backend="kernel")
+        assert resolve_backend_for(net, kernel_options) == "kernel"
         for source in net.uncontrollable_sources():
             result = find_schedule(net, source, options=options)
             if result.counters.batched_expansions:
                 batched_runs += 1
+            kernel_result = find_schedule(net, source, options=kernel_options)
+            if kernel_result.counters.kernel_expansions:
+                kernel_runs += 1
+            assert kernel_result.counters.batched_expansions == 0
             successes += bool(result.success)
     assert batched_runs > 0
+    assert kernel_runs > 0
     assert successes > 0
 
 
@@ -139,7 +162,7 @@ def test_differential_on_an_unschedulable_paper_net():
     from repro.apps import paper_nets
 
     net = paper_nets.figure_4b()
-    scalar, batched = run_both_backends(net, "a", max_nodes=5000)
+    scalar, batched, kernel = run_all_backends(net, "a", max_nodes=5000)
     assert not scalar.success
     assert_results_equivalent(scalar, batched)
     assert batched.counters.batched_expansions > 0
@@ -149,19 +172,29 @@ def test_differential_find_all_schedules_merged_counters():
     """Multi-source nets: per-source results and merged counters agree."""
     for seed in (3, 11, 27):
         net = random_multi_source_net(3, 3, seed=seed)
-        scalar = find_all_schedules(
-            net, options=SchedulerOptions(max_nodes=600), backend="scalar"
+        per_backend = {
+            backend: find_all_schedules(
+                net, options=SchedulerOptions(max_nodes=600), backend=backend
+            )
+            for backend in ALL_BACKENDS
+        }
+        scalar = per_backend["scalar"]
+        for backend in ("batched", "kernel"):
+            other = per_backend[backend]
+            assert list(scalar) == list(other)
+            for source in scalar:
+                assert_results_equivalent(scalar[source], other[source])
+        merged = {
+            backend: SearchCounters.aggregate(r.counters for r in results.values())
+            for backend, results in per_backend.items()
+        }
+        assert (
+            comparable_counters(merged["scalar"])
+            == comparable_counters(merged["batched"])
+            == comparable_counters(merged["kernel"])
         )
-        batched = find_all_schedules(
-            net, options=SchedulerOptions(max_nodes=600), backend="batched"
-        )
-        assert list(scalar) == list(batched)
-        for source in scalar:
-            assert_results_equivalent(scalar[source], batched[source])
-        merged_scalar = SearchCounters.aggregate(r.counters for r in scalar.values())
-        merged_batched = SearchCounters.aggregate(r.counters for r in batched.values())
-        assert comparable_counters(merged_scalar) == comparable_counters(merged_batched)
-        assert merged_batched.batched_expansions > 0
+        assert merged["batched"].batched_expansions > 0
+        assert merged["kernel"].kernel_expansions > 0
 
 
 # ---------------------------------------------------------------------------
@@ -187,7 +220,7 @@ def test_empty_frontier_backtracks_identically():
     source event (two await nodes) -- on both backends, identically.
     """
     net = _starved_net()
-    scalar, batched = run_both_backends(net, "src", max_nodes=50)
+    scalar, batched, kernel = run_all_backends(net, "src", max_nodes=50)
     assert scalar.success
     assert len(scalar.schedule.await_nodes()) == 2
     assert_results_equivalent(scalar, batched)
@@ -200,7 +233,7 @@ def test_empty_frontier_with_banned_source_refire_fails_identically():
     termination = CompositeCondition(
         conditions=[PlaceBoundCondition.uniform(net, 1), NodeBudget(max_nodes=50)]
     )
-    scalar, batched = run_both_backends(net, "src", termination=termination)
+    scalar, batched, kernel = run_all_backends(net, "src", termination=termination)
     assert not scalar.success
     assert_results_equivalent(scalar, batched)
 
@@ -212,7 +245,7 @@ def test_single_place_single_transition_net():
     net.add_transition("t")
     net.add_arc("src", "p")
     net.add_arc("p", "t")
-    scalar, batched = run_both_backends(net, "src")
+    scalar, batched, kernel = run_all_backends(net, "src")
     assert scalar.success
     assert_results_equivalent(scalar, batched)
     assert batched.counters.batched_expansions > 0
@@ -224,7 +257,7 @@ def test_every_child_violates_the_configured_bound():
     termination = CompositeCondition(
         conditions=[PlaceBoundCondition.uniform(net, 0), NodeBudget(max_nodes=200)]
     )
-    scalar, batched = run_both_backends(net, "src", termination=termination)
+    scalar, batched, kernel = run_all_backends(net, "src", termination=termination)
     assert not scalar.success
     assert_results_equivalent(scalar, batched)
     # the condition decomposes, so the batched path must really have run
@@ -273,11 +306,16 @@ def test_int64_guard_falls_back_to_exact_scalar_arithmetic():
     net.add_arc("src", "p")
     net.add_arc("p", "t")
     options = SchedulerOptions(max_nodes=100, backend="batched")
-    # the static guard downgrades even an explicit backend="batched" request
+    # the static guard downgrades even explicit backend="batched"/"kernel"
     assert resolve_backend_for(net, options) == "scalar"
-    scalar, batched = run_both_backends(net, "src", max_nodes=100)
+    assert (
+        resolve_backend_for(net, SchedulerOptions(max_nodes=100, backend="kernel"))
+        == "scalar"
+    )
+    scalar, batched, kernel = run_all_backends(net, "src", max_nodes=100)
     assert_results_equivalent(scalar, batched)
     assert batched.counters.batched_expansions == 0
+    assert kernel.counters.kernel_expansions == 0
 
     # a comfortable margin below the guard stays on the batched path
     small = PetriNet(name="large_but_safe")
@@ -287,7 +325,11 @@ def test_int64_guard_falls_back_to_exact_scalar_arithmetic():
     small.add_arc("src", "p")
     small.add_arc("p", "t")
     assert resolve_backend_for(small, options) == "batched"
-    scalar, batched = run_both_backends(small, "src", max_nodes=100)
+    assert (
+        resolve_backend_for(small, SchedulerOptions(max_nodes=100, backend="kernel"))
+        == "kernel"
+    )
+    scalar, batched, kernel = run_all_backends(small, "src", max_nodes=100)
     assert_results_equivalent(scalar, batched)
 
 
@@ -340,6 +382,10 @@ def test_unsupported_termination_condition_forces_scalar():
     assert split_frontier_conditions(opaque) is None
     options = SchedulerOptions(backend="batched", termination=opaque, max_nodes=400)
     assert resolve_backend_for(net, options, opaque) == "scalar"
+    kernel_options = SchedulerOptions(
+        backend="kernel", termination=opaque, max_nodes=400
+    )
+    assert resolve_backend_for(net, kernel_options, opaque) == "scalar"
     batched_request = find_schedule(net, "src", options=options)
     scalar = find_schedule(
         net,
@@ -356,11 +402,14 @@ def test_unknown_backend_is_rejected():
         find_schedule(net, "src", options=SchedulerOptions(backend="vectorised"))
 
 
-def test_auto_resolves_to_batched_for_default_options():
+def test_auto_resolves_to_kernel_for_default_options():
     net = random_choice_net(2, seed=2)
-    assert resolve_backend_for(net, SchedulerOptions()) == "batched"
+    assert resolve_backend_for(net, SchedulerOptions()) == "kernel"
     result = find_schedule(net, "src")
-    assert result.counters.batched_expansions > 0
+    assert result.counters.kernel_expansions > 0
+    assert result.counters.batched_expansions == 0
+    # an explicit "batched" request keeps the un-fused reference path
+    assert resolve_backend_for(net, SchedulerOptions(backend="batched")) == "batched"
 
 
 # ---------------------------------------------------------------------------

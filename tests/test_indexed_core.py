@@ -253,6 +253,7 @@ def test_search_counters_are_populated():
         "enabled_updates",
         "interned_markings",
         "batched_expansions",
+        "kernel_expansions",
     }
 
 

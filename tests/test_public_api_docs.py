@@ -51,6 +51,13 @@ PUBLIC_API = [
     ("repro.scheduling.termination", "MaxDepthCondition"),
     ("repro.scheduling.termination", "CompositeCondition"),
     ("repro.scheduling.termination", "default_termination"),
+    # the fused expansion kernel
+    ("repro.petrinet.kernel", "ExpansionKernel"),
+    ("repro.petrinet.kernel", "IncrementalIrrelevance"),
+    ("repro.petrinet.kernel", "resolve_kernel_tier"),
+    ("repro.petrinet.kernel", "compiled_tier_available"),
+    ("repro.petrinet.kernel", "kernel_enabled"),
+    ("repro.petrinet.indexed", "MarkingStore"),
     # parallel + warm start + persistent cache
     ("repro.scheduling.parallel", "find_all_schedules_parallel"),
     ("repro.scheduling.parallel", "aggregate_counters"),

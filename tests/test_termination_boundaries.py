@@ -1,14 +1,16 @@
-"""Boundary semantics of depth/budget termination across both backends.
+"""Boundary semantics of depth/budget termination across the backends.
 
 The scalar backend evaluates ``MaxDepthCondition.holds`` on each node (its
-depth equals its proper-ancestor count); the batched backend evaluates
-``frontier_mask`` with ``child_depth`` (parent depth + 1) for a whole
-frontier at once.  Both must implement ``depth > max_depth`` -- a node *at*
+depth equals its proper-ancestor count); the matrix backends (batched and
+the fused kernel) evaluate ``frontier_mask`` -- or the kernel's folded
+equivalent -- with ``child_depth`` (parent depth + 1) for a whole frontier
+at once.  All must implement ``depth > max_depth`` -- a node *at*
 ``max_depth`` is kept, its children are pruned -- and therefore terminate on
 the identical node set.  These tests pin that contract at the boundary
 values ``max_depth - 1`` / ``max_depth`` / ``max_depth + 1`` around the
-minimal schedulable depth, differentially across ``backend="scalar"`` and
-``"batched"``, so any future off-by-one in either path trips immediately.
+minimal schedulable depth, differentially across ``backend="scalar"``,
+``"batched"`` and ``"kernel"``, so any future off-by-one in any path trips
+immediately.
 """
 
 from __future__ import annotations
@@ -60,6 +62,9 @@ def _observables(result):
     )
 
 
+#: Every EP backend; the matrix backends must agree with scalar everywhere.
+BACKENDS = ("scalar", "batched", "kernel")
+
 #: (builder, source, minimal max_depth at which a schedule exists) -- the
 #: minimal depths are behavioural pins of the figure nets themselves.
 MINIMAL_DEPTHS = [
@@ -72,8 +77,8 @@ MINIMAL_DEPTHS = [
     "builder,source,minimal", MINIMAL_DEPTHS, ids=["figure_5", "figure_6"]
 )
 def test_minimal_depth_is_a_sharp_boundary(builder, source, minimal):
-    """depth == minimal schedules; minimal - 1 fails -- on both backends."""
-    for backend in ("scalar", "batched"):
+    """depth == minimal schedules; minimal - 1 fails -- on every backend."""
+    for backend in BACKENDS:
         below = _run(builder(), source, minimal - 1, backend)
         assert not below.success, backend
         at = _run(builder(), source, minimal, backend)
@@ -91,8 +96,9 @@ def test_minimal_depth_is_a_sharp_boundary(builder, source, minimal):
 def test_backends_agree_at_every_boundary_value(builder, source, minimal):
     for max_depth in (minimal - 1, minimal, minimal + 1):
         scalar = _observables(_run(builder(), source, max_depth, "scalar"))
-        batched = _observables(_run(builder(), source, max_depth, "batched"))
-        assert scalar == batched, f"max_depth={max_depth}"
+        for backend in BACKENDS[1:]:
+            other = _observables(_run(builder(), source, max_depth, backend))
+            assert scalar == other, f"max_depth={max_depth} backend={backend}"
 
 
 def test_backends_agree_across_depth_sweep_on_random_nets():
@@ -110,8 +116,9 @@ def test_backends_agree_across_depth_sweep_on_random_nets():
             source = sources[rng.randrange(len(sources))]
             for max_depth in range(0, 12):
                 scalar = _observables(_run(net, source, max_depth, "scalar"))
-                batched = _observables(_run(net, source, max_depth, "batched"))
-                assert scalar == batched, (seed, source, max_depth)
+                for backend in BACKENDS[1:]:
+                    other = _observables(_run(net, source, max_depth, backend))
+                    assert scalar == other, (seed, source, max_depth, backend)
 
 
 def test_max_depth_holds_uses_the_stored_depth_fast_path():
@@ -133,8 +140,8 @@ def test_max_depth_holds_uses_the_stored_depth_fast_path():
 
 
 def test_node_budget_boundary_is_on_the_node_index():
-    """NodeBudget prunes node index >= max_nodes, exactly, on both backends."""
-    for backend in ("scalar", "batched"):
+    """NodeBudget prunes node index >= max_nodes, exactly, on every backend."""
+    for backend in BACKENDS:
         net = paper_nets.figure_5()
         termination = CompositeCondition(
             [IrrelevanceCriterion.for_net(net), NodeBudget(max_nodes=2)]

@@ -26,6 +26,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -282,6 +283,16 @@ class SqliteStore(CacheStore):
     ``stats.errors``).  An unreadable / corrupt database file is rotated to
     ``store.sqlite.corrupt-<n>`` and a fresh database is started in its
     place.
+
+    **Thread model**: one connection *per thread* (``threading.local``).  A
+    single shared connection can interleave two threads' statement/commit
+    pairs into torn transactions or raise ``ProgrammingError``; the serving
+    daemon's executor drives one store from many threads at once, so every
+    thread lazily opens its own connection against the same database file
+    and sqlite's file locking arbitrates between them exactly as it does
+    between processes.  :meth:`close` closes every connection the store ever
+    opened; a corruption rotation bumps a generation counter so other
+    threads' stale connections are replaced on their next use.
     """
 
     backend_name = "sqlite"
@@ -292,14 +303,25 @@ class SqliteStore(CacheStore):
         self.root = Path(root)
         self.path = self.root / self.FILENAME
         self.root.mkdir(parents=True, exist_ok=True)
-        self._conn: Optional[sqlite3.Connection] = None
+        # _lock guards the connection registry, the generation counter and
+        # corrupt-file rotation; it is never held around statement execution
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
+        self._generation = 0
+        self._closed = False
         try:
-            self._conn = self._open()
+            self._connection()
         except sqlite3.Error:
-            self._rotate_corrupt()
-            self._conn = self._open()  # a fresh file; raises only if the dir is unusable
+            with self._lock:
+                self._rotate_corrupt()
+                self._generation += 1
+            self._connection()  # a fresh file; raises only if the dir is unusable
 
     def _open(self) -> sqlite3.Connection:
+        # check_same_thread=False solely so close() may reap connections
+        # owned by finished executor threads; statements always run on the
+        # opening thread (sqlite3.threadsafety serializes the rest)
         conn = sqlite3.connect(str(self.path), timeout=5.0, check_same_thread=False)
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA busy_timeout=5000")
@@ -316,6 +338,45 @@ class SqliteStore(CacheStore):
         conn.commit()
         return conn
 
+    def _forget_local(self) -> None:
+        """Close and deregister the calling thread's connection, if any."""
+        cached = getattr(self._local, "entry", None)
+        if cached is None:
+            return
+        _generation, conn = cached
+        self._local.entry = None
+        try:
+            conn.close()
+        except sqlite3.Error:
+            pass
+        with self._lock:
+            if conn in self._connections:
+                self._connections.remove(conn)
+
+    def _connection(self) -> sqlite3.Connection:
+        """The calling thread's connection, opened (or refreshed) on demand."""
+        if self._closed:
+            raise sqlite3.OperationalError("store connection is closed")
+        cached = getattr(self._local, "entry", None)
+        if cached is not None:
+            generation, conn = cached
+            if generation == self._generation:
+                return conn
+            self._forget_local()  # the database was rotated under this thread
+        with self._lock:
+            generation = self._generation
+        conn = self._open()
+        with self._lock:
+            if self._closed:
+                try:
+                    conn.close()
+                except sqlite3.Error:
+                    pass
+                raise sqlite3.OperationalError("store connection is closed")
+            self._connections.append(conn)
+        self._local.entry = (generation, conn)
+        return conn
+
     def _rotate_corrupt(self) -> None:
         """Move an unusable database file aside so a fresh one can start."""
         for attempt in range(100):
@@ -325,21 +386,38 @@ class SqliteStore(CacheStore):
                 return
         self.path.unlink()
 
-    def _execute(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
-        if self._conn is None:
-            raise sqlite3.OperationalError("store connection is closed")
+    def _recover_corrupt(self) -> None:
+        """Rotate a database that went bad underneath us, exactly once.
+
+        Several threads can observe the same malformed file concurrently;
+        only the first (by generation) performs the rotation, the rest just
+        drop their stale connections and reconnect to the fresh database.
+        """
+        cached = getattr(self._local, "entry", None)
+        stale_generation = cached[0] if cached is not None else None
+        self._forget_local()
+        with self._lock:
+            if stale_generation is None or stale_generation == self._generation:
+                if self.path.exists():
+                    self._rotate_corrupt()
+                self._generation += 1
+
+    def _execute(self, sql: str, params: Tuple = (), *, commit: bool = False) -> sqlite3.Cursor:
         try:
-            return self._conn.execute(sql, params)
+            conn = self._connection()
+            cursor = conn.execute(sql, params)
+            if commit:
+                conn.commit()
+            return cursor
         except sqlite3.DatabaseError as error:
-            if "malformed" in str(error).lower() or "not a database" in str(error).lower():
-                # the file went bad underneath us: rotate and start fresh
-                try:
-                    self._conn.close()
-                except sqlite3.Error:
-                    pass
-                self._rotate_corrupt()
-                self._conn = self._open()
-                return self._conn.execute(sql, params)
+            message = str(error).lower()
+            if "malformed" in message or "not a database" in message:
+                self._recover_corrupt()
+                conn = self._connection()
+                cursor = conn.execute(sql, params)
+                if commit:
+                    conn.commit()
+                return cursor
             raise
 
     def _read(self, kind: str, key: str) -> Optional[str]:
@@ -352,12 +430,13 @@ class SqliteStore(CacheStore):
         self._execute(
             "INSERT OR REPLACE INTO entries (kind, key, blob, created) VALUES (?, ?, ?, ?)",
             (kind, key, blob, time.time()),
+            commit=True,
         )
-        self._conn.commit()
 
     def _remove(self, kind: str, key: str) -> None:
-        self._execute("DELETE FROM entries WHERE kind = ? AND key = ?", (kind, key))
-        self._conn.commit()
+        self._execute(
+            "DELETE FROM entries WHERE kind = ? AND key = ?", (kind, key), commit=True
+        )
 
     def _move_to_quarantine(self, kind: str, key: str, reason: str) -> None:
         row = self._execute(
@@ -367,8 +446,9 @@ class SqliteStore(CacheStore):
             "INSERT INTO quarantine (kind, key, blob, reason, ts) VALUES (?, ?, ?, ?, ?)",
             (kind, key, row[0] if row else None, reason, time.time()),
         )
-        self._execute("DELETE FROM entries WHERE kind = ? AND key = ?", (kind, key))
-        self._conn.commit()
+        self._execute(
+            "DELETE FROM entries WHERE kind = ? AND key = ?", (kind, key), commit=True
+        )
 
     def _scan(self) -> Iterator[EntryInfo]:
         for kind, key, blob, created in self._execute(
@@ -381,16 +461,18 @@ class SqliteStore(CacheStore):
 
     def _wipe(self) -> None:
         self._execute("DELETE FROM entries")
-        self._execute("DELETE FROM quarantine")
-        self._conn.commit()
+        self._execute("DELETE FROM quarantine", commit=True)
 
     def close(self) -> None:
-        if self._conn is not None:
+        with self._lock:
+            self._closed = True
+            connections, self._connections = self._connections, []
+        self._local.entry = None
+        for conn in connections:
             try:
-                self._conn.close()
+                conn.close()
             except sqlite3.Error:
                 pass
-            self._conn = None
 
     def describe(self) -> str:
         return f"sqlite ({self.path})"
@@ -432,12 +514,52 @@ class JsonDirStore(CacheStore):
             return None
         return path.read_text(encoding="utf-8")
 
+    @staticmethod
+    def _fsync_directory(directory: Path) -> None:
+        """Flush a directory entry so a just-renamed file survives a crash.
+
+        Directory fds are a POSIX notion; on platforms (or filesystems) that
+        refuse to open or fsync a directory the flush is skipped -- the
+        rename is still atomic, we merely lose the durability upgrade.
+        """
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
     def _write(self, kind: str, key: str, blob: str) -> None:
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
-        tmp.write_text(blob, encoding="utf-8")
-        os.replace(tmp, path)
+        # pid alone is not unique under the serving daemon's thread pool:
+        # two threads of one process writing the same key would share (and
+        # corrupt) one temp file, so the thread id joins the suffix
+        tmp = path.with_name(
+            path.name + f".tmp-{os.getpid()}-{threading.get_ident()}"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+                handle.flush()
+                # without the fsync, os.replace can publish a name whose
+                # *data* never reached the disk: a crash then leaves a
+                # truncated entry that later reads silently quarantine
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        # and the rename itself must be flushed, or the crash loses the
+        # entry entirely (acceptable) *or* resurrects a half-gone tmp file
+        self._fsync_directory(path.parent)
 
     def _remove(self, kind: str, key: str) -> None:
         path = self._path(kind, key)

@@ -71,9 +71,21 @@ def schedule_to_json(schedule: Schedule) -> str:
     return json.dumps(schedule_to_dict(schedule), sort_keys=True, separators=(",", ":"))
 
 
+def schedule_dict_fingerprint(data: Mapping[str, object]) -> str:
+    """SHA-256 of a schedule already in canonical dictionary form.
+
+    Byte-identical to :func:`schedule_fingerprint` of the schedule the dict
+    was derived from; used by consumers that hold the serialized record but
+    no live :class:`Schedule` (cache replays, the serving daemon's wire
+    responses).
+    """
+    body = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
 def schedule_fingerprint(schedule: Schedule) -> str:
     """SHA-256 of the canonical JSON form."""
-    return hashlib.sha256(schedule_to_json(schedule).encode("utf-8")).hexdigest()
+    return schedule_dict_fingerprint(schedule_to_dict(schedule))
 
 
 def result_to_record(result: "SchedulerResult") -> Dict[str, object]:

@@ -37,6 +37,7 @@ is all a basis depends on); it layers over the same disk store.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -59,6 +60,24 @@ from repro.scheduling.serialize import result_from_record, result_to_record
 #: workload, ``LIVE_SEARCH_COUNTERS.nodes_expanded`` is still 0 (asserted by
 #: ``tests/test_cache.py`` and the CI cache smoke).
 LIVE_SEARCH_COUNTERS = SearchCounters()
+
+#: Guards merges into :data:`LIVE_SEARCH_COUNTERS`.  The serving executor
+#: finishes searches on many threads at once, and ``int`` ``+=`` on a
+#: dataclass attribute is a read-modify-write that can drop increments
+#: under that interleaving.
+_LIVE_COUNTERS_LOCK = threading.Lock()
+
+
+def record_live_search(counters: SearchCounters) -> None:
+    """Merge one *executed* (non-replayed) search into the process tally.
+
+    The single choke point through which every live EP search run via the
+    warm-start layer or the serving daemon is accounted; thread-safe so the
+    "warm process did zero search work" invariant stays exact under the
+    server's concurrent executor.
+    """
+    with _LIVE_COUNTERS_LOCK:
+        LIVE_SEARCH_COUNTERS.merge(counters)
 
 
 def options_cache_key(options: SchedulerOptions) -> Optional[Tuple]:
@@ -160,14 +179,20 @@ class ScheduleWarmStartCache:
         self.stats = WarmStartStats()
         self._store = store
         self._l1: "BoundedLRU[Tuple, Dict[str, object]]" = BoundedLRU(capacity)
+        # Guards the stats counters and composite L1+stats transitions; the
+        # BoundedLRU is itself thread-safe, but "miss then store" / "hit then
+        # count" must not interleave into corrupted accounting when the
+        # serving executor drives one cache from many threads.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._l1)
 
     def clear(self) -> None:
         """Drop the in-memory level and reset stats (disk entries survive)."""
-        self._l1.clear()
-        self.stats = WarmStartStats()
+        with self._lock:
+            self._l1.clear()
+            self.stats = WarmStartStats()
 
     def drop_memory(self) -> None:
         """Drop the in-memory level only, keeping the hit/miss accounting.
@@ -202,15 +227,37 @@ class ScheduleWarmStartCache:
         validation; L2 hits are promoted into L1.  ``None`` means a real
         search is needed (or the options are uncacheable).
         """
+        record, _origin = self.lookup_record_with_origin(
+            net, source, options, fingerprint=fingerprint, analysis=analysis
+        )
+        return record
+
+    def lookup_record_with_origin(
+        self,
+        net: PetriNet,
+        source: str,
+        options: SchedulerOptions,
+        *,
+        fingerprint: Optional[str] = None,
+        analysis=None,
+    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        """Like :meth:`lookup_record`, plus where the record came from.
+
+        Returns ``(record, origin)`` with ``origin`` one of ``"l1"``
+        (in-memory hit), ``"disk"`` (validated L2 hit, promoted into L1) or
+        ``None`` (miss / uncacheable).  The serving daemon uses the tag to
+        attribute its cache metrics without poking at this cache's internals.
+        """
         opts_key = options_cache_key(options)
         if opts_key is None:
-            return None
+            return None, None
         fingerprint = fingerprint or structural_fingerprint(net)
         key = (fingerprint, source, opts_key)
         record = self._l1.get(key)
         if record is not None:
-            self.stats.hits += 1
-            return record
+            with self._lock:
+                self.stats.hits += 1
+            return record, "l1"
         store = self._disk()
         if store is not None:
             quarantined_before = store.stats.quarantined
@@ -223,13 +270,15 @@ class ScheduleWarmStartCache:
                 analysis=analysis,
             )
             if record is not None:
-                self.stats.disk_hits += 1
+                with self._lock:
+                    self.stats.disk_hits += 1
                 self._l1.put(key, record)
-                return record
+                return record, "disk"
             # count only quarantines caused by *this* lookup (wire decode,
             # identity check or replay validation), not store-wide history
-            self.stats.disk_rejected += store.stats.quarantined - quarantined_before
-        return None
+            with self._lock:
+                self.stats.disk_rejected += store.stats.quarantined - quarantined_before
+        return None, None
 
     def store_record(
         self,
@@ -283,7 +332,8 @@ class ScheduleWarmStartCache:
         options = options or SchedulerOptions()
         opts_key = options_cache_key(options)
         if opts_key is None:
-            self.stats.uncacheable += 1
+            with self._lock:
+                self.stats.uncacheable += 1
             result = find_schedule(
                 net,
                 source_transition,
@@ -291,7 +341,7 @@ class ScheduleWarmStartCache:
                 analysis=analysis,
                 raise_on_failure=raise_on_failure,
             )
-            LIVE_SEARCH_COUNTERS.merge(result.counters)
+            record_live_search(result.counters)
             return result
         fingerprint = structural_fingerprint(net)
         record = self.lookup_record(
@@ -306,11 +356,12 @@ class ScheduleWarmStartCache:
                 net, source_transition, record, from_cache=True
             )
         else:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             result = find_schedule(
                 net, source_transition, options=options, analysis=analysis
             )
-            LIVE_SEARCH_COUNTERS.merge(result.counters)
+            record_live_search(result.counters)
             self.store_record(
                 net,
                 source_transition,

@@ -1,0 +1,343 @@
+"""Wire protocol of the scheduling daemon: JSON lines over TCP.
+
+One request per line, one response per line, both canonical JSON (sorted
+keys, compact separators) terminated by ``\\n``.  Requests carry an ``op``:
+
+``schedule``
+    The workhorse.  The net arrives either pre-linked (``"net"``: the
+    structure-only serialization produced by :func:`net_to_dict`) or as
+    FlowC source (``"flowc"``: a program plus an optional netlist spec --
+    channels, environment declarations -- compiled and linked server-side).
+    Optional ``"sources"`` restricts which uncontrollable sources are
+    scheduled (default: all of them) and ``"options"`` sets a whitelisted
+    subset of :class:`~repro.scheduling.ep.SchedulerOptions` fields.
+``stats``
+    Introspection: cache hit/miss/coalesce counters, queue depth and
+    per-phase latency histograms (see ``serve.service``).
+``ping``
+    Liveness probe.
+``shutdown``
+    Ask the daemon to drain in-flight work and exit.
+
+Responses echo the request ``id`` (when given) and carry either
+``"ok": true`` plus op-specific fields or ``"ok": false`` plus an
+``"error": {"type", "message"}`` object.  Schedule responses embed, per
+source, the canonical schedule dict, its fingerprint, the original search's
+:class:`~repro.scheduling.ep.SearchCounters` and the cache origin -- the
+same canonical bytes regardless of which of N coalesced requesters receives
+them.
+
+The net serialization here is *structural*: places (tokens, bounds, port
+flags), transitions (source kinds, sink flags, guards, priorities) and
+weighted arcs.  Transition ``code`` and choice-place ``condition`` carry
+opaque FlowC AST objects that neither scheduling nor fingerprinting reads,
+so they do not travel; a round-tripped net schedules byte-identically to
+the original (pinned by ``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.flowc.netlist import Network
+from repro.petrinet.net import PetriNet, SourceKind
+from repro.scheduling.ep import SchedulerOptions
+
+#: Version stamped into every response envelope; bump on breaking changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request line (and the asyncio stream limit).  Nets of
+#: tens of thousands of nodes fit comfortably; anything bigger should ship
+#: as FlowC source, which is far denser than an arc list.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed or unsupported request; maps to an error response.
+
+    ``kind`` is the stable machine-readable error type echoed on the wire
+    (``bad-json``, ``bad-request``, ``bad-net``, ``bad-flowc``,
+    ``bad-options``, ``unknown-source``, ``timeout``, ``shutting-down``,
+    ``internal``).
+    """
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+def canonical_json(obj) -> str:
+    """Canonical encoding shared by responses and fingerprints."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def encode_line(obj: Mapping[str, object]) -> bytes:
+    """One wire line: canonical JSON + newline, UTF-8."""
+    return (canonical_json(obj) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """Parse one request line into a dict, raising :class:`ProtocolError`."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {error}")
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-request", "request must be a JSON object")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# net serialization
+# ---------------------------------------------------------------------------
+
+
+def net_to_dict(net: PetriNet) -> Dict[str, object]:
+    """Structure-only JSON form of a net (inverse: :func:`net_from_dict`).
+
+    Deterministic: places, transitions and arcs are listed in sorted name
+    order and default-valued attributes are omitted, so two structurally
+    identical nets serialize to identical bytes.
+
+    Example::
+
+        >>> from repro.apps.paper_nets import figure_5
+        >>> data = net_to_dict(figure_5())
+        >>> sorted(data)
+        ['arcs', 'name', 'places', 'transitions']
+    """
+    places: List[Dict[str, object]] = []
+    for name in sorted(net.places):
+        place = net.places[name]
+        entry: Dict[str, object] = {"name": name}
+        tokens = net.initial_tokens.get(name, 0)
+        if tokens:
+            entry["tokens"] = int(tokens)
+        if place.bound is not None:
+            entry["bound"] = int(place.bound)
+        if place.is_port:
+            entry["is_port"] = True
+        if place.channel is not None:
+            entry["channel"] = place.channel
+        if place.process is not None:
+            entry["process"] = place.process
+        places.append(entry)
+    transitions: List[Dict[str, object]] = []
+    for name in sorted(net.transitions):
+        transition = net.transitions[name]
+        entry = {"name": name}
+        if transition.source_kind is not SourceKind.NONE:
+            entry["source_kind"] = transition.source_kind.value
+        if transition.is_sink:
+            entry["is_sink"] = True
+        if transition.guard is not None:
+            entry["guard"] = bool(transition.guard)
+        if transition.select_priority is not None:
+            entry["select_priority"] = int(transition.select_priority)
+        if transition.process is not None:
+            entry["process"] = transition.process
+        transitions.append(entry)
+    arcs: List[List[object]] = []
+    for transition in sorted(net.pre):
+        for place, weight in sorted(net.pre[transition].items()):
+            arcs.append([place, transition, int(weight)])
+    for transition in sorted(net.post):
+        for place, weight in sorted(net.post[transition].items()):
+            arcs.append([transition, place, int(weight)])
+    return {
+        "name": net.name,
+        "places": places,
+        "transitions": transitions,
+        "arcs": arcs,
+    }
+
+
+def net_from_dict(data: Mapping[str, object]) -> PetriNet:
+    """Rebuild a net from :func:`net_to_dict` output (wire requests).
+
+    Validates shape as it goes; any inconsistency (unknown arc endpoint,
+    negative weight, duplicate name) raises :class:`ProtocolError` with kind
+    ``bad-net``.
+    """
+    if not isinstance(data, Mapping):
+        raise ProtocolError("bad-net", "net must be a JSON object")
+    try:
+        net = PetriNet(name=str(data.get("name", "net")))
+        for entry in data.get("places", ()):
+            net.add_place(
+                str(entry["name"]),
+                int(entry.get("tokens", 0)),
+                bound=(int(entry["bound"]) if entry.get("bound") is not None else None),
+                is_port=bool(entry.get("is_port", False)),
+                channel=entry.get("channel"),
+                process=entry.get("process"),
+            )
+        for entry in data.get("transitions", ()):
+            net.add_transition(
+                str(entry["name"]),
+                source_kind=SourceKind(entry.get("source_kind", "none")),
+                is_sink=bool(entry.get("is_sink", False)),
+                guard=entry.get("guard"),
+                select_priority=entry.get("select_priority"),
+                process=entry.get("process"),
+            )
+        for arc in data.get("arcs", ()):
+            src, dst, weight = arc
+            net.add_arc(str(src), str(dst), int(weight))
+        net.validate()
+    except ProtocolError:
+        raise
+    except Exception as error:
+        raise ProtocolError("bad-net", f"invalid net serialization: {error}")
+    return net
+
+
+# ---------------------------------------------------------------------------
+# FlowC requests
+# ---------------------------------------------------------------------------
+
+
+def _port_ref(text: object) -> Tuple[str, str]:
+    if not isinstance(text, str) or "." not in text:
+        raise ProtocolError("bad-flowc", f"port reference {text!r} is not 'process.port'")
+    process, port = text.split(".", 1)
+    return process, port
+
+
+def network_from_spec(payload: Mapping[str, object]) -> Network:
+    """Build a :class:`~repro.flowc.netlist.Network` from a wire FlowC spec.
+
+    ``payload`` carries ``program`` (FlowC source declaring one or more
+    processes) and optionally ``channels`` (``{"source": "p.port",
+    "target": "p.port", "bound": int?, "name": str?}``), ``inputs`` /
+    ``outputs`` (environment declarations, ``{"port": "p.port",
+    "controllable": bool?, "rate": int?}``) and ``name``.  Unless
+    ``auto_environment`` is set to false, any port still unconnected after
+    those declarations is auto-declared -- inputs as *uncontrollable*
+    environment inputs, outputs as environment outputs -- so a bare program
+    is immediately schedulable.
+    """
+    program = payload.get("program")
+    if not isinstance(program, str) or not program.strip():
+        raise ProtocolError("bad-flowc", "flowc request needs a non-empty 'program' string")
+    network = Network(name=str(payload.get("name", "system")))
+    try:
+        network.add_processes_from_source(program)
+        for spec in payload.get("channels", ()):
+            s_process, s_port = _port_ref(spec["source"])
+            t_process, t_port = _port_ref(spec["target"])
+            network.connect(
+                s_process,
+                s_port,
+                t_process,
+                t_port,
+                name=spec.get("name"),
+                bound=(int(spec["bound"]) if spec.get("bound") is not None else None),
+            )
+        for spec in payload.get("inputs", ()):
+            process, port = _port_ref(spec["port"])
+            network.declare_input(
+                process,
+                port,
+                controllable=bool(spec.get("controllable", False)),
+                rate=int(spec.get("rate", 1)),
+            )
+        for spec in payload.get("outputs", ()):
+            process, port = _port_ref(spec["port"])
+            network.declare_output(process, port, rate=int(spec.get("rate", 1)))
+        if payload.get("auto_environment", True):
+            declared = set(network.environment_inputs) | set(network.environment_outputs)
+            for ref, direction in network.unconnected_ports():
+                if ref in declared:
+                    continue
+                if direction == "input":
+                    network.declare_input(ref.process, ref.port, controllable=False)
+                else:
+                    network.declare_output(ref.process, ref.port)
+    except ProtocolError:
+        raise
+    except Exception as error:
+        raise ProtocolError("bad-flowc", f"invalid FlowC request: {error}")
+    return network
+
+
+# ---------------------------------------------------------------------------
+# options
+# ---------------------------------------------------------------------------
+
+#: SchedulerOptions fields settable over the wire.  ``termination`` is
+#: deliberately absent: arbitrary condition objects have no JSON form and
+#: would defeat both fingerprint keying and the caches.
+WIRE_OPTION_FIELDS = (
+    "single_source",
+    "use_invariant_heuristic",
+    "max_nodes",
+    "validate",
+    "invariant_precheck",
+    "defer_sources",
+    "backend",
+    "kernel_tier",
+)
+
+
+def options_from_dict(data: Optional[Mapping[str, object]]) -> SchedulerOptions:
+    """Whitelisted :class:`SchedulerOptions` from a request's ``options``.
+
+    Unknown fields are rejected rather than ignored: a typoed knob that
+    silently fell back to defaults would be served from the wrong cache key
+    forever after.
+    """
+    if data is None:
+        return SchedulerOptions()
+    if not isinstance(data, Mapping):
+        raise ProtocolError("bad-options", "options must be a JSON object")
+    unknown = set(data) - set(WIRE_OPTION_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            "bad-options",
+            f"unknown option(s) {sorted(unknown)}; settable: {list(WIRE_OPTION_FIELDS)}",
+        )
+    try:
+        options = SchedulerOptions(**{key: data[key] for key in data})
+    except Exception as error:
+        raise ProtocolError("bad-options", f"invalid options: {error}")
+    if options.backend not in ("auto", "scalar", "batched", "kernel"):
+        raise ProtocolError("bad-options", f"unknown backend {options.backend!r}")
+    if options.kernel_tier not in (None, "compiled", "numpy"):
+        raise ProtocolError("bad-options", f"unknown kernel tier {options.kernel_tier!r}")
+    if not isinstance(options.max_nodes, int) or options.max_nodes < 1:
+        raise ProtocolError("bad-options", "max_nodes must be a positive integer")
+    return options
+
+
+def resolve_sources(net: PetriNet, requested: Optional[Sequence[object]]) -> List[str]:
+    """The source transitions one request schedules, validated against ``net``."""
+    if requested is None:
+        sources = net.uncontrollable_sources()
+        if not sources:
+            raise ProtocolError(
+                "unknown-source", "net has no uncontrollable source transitions"
+            )
+        return sources
+    if not isinstance(requested, (list, tuple)) or not requested:
+        raise ProtocolError("bad-request", "'sources' must be a non-empty list")
+    sources = []
+    for item in requested:
+        name = str(item)
+        if name not in net.transitions:
+            raise ProtocolError("unknown-source", f"unknown transition {name!r}")
+        sources.append(name)
+    return sources
+
+
+def error_response(request_id: object, error: ProtocolError) -> Dict[str, object]:
+    """The error envelope for one failed request."""
+    body: Dict[str, object] = {
+        "ok": False,
+        "protocol": PROTOCOL_VERSION,
+        "error": {"type": error.kind, "message": str(error)},
+    }
+    if request_id is not None:
+        body["id"] = request_id
+    return body

@@ -1,0 +1,409 @@
+"""The scheduling service: single-flight coalescing over a bounded executor.
+
+This is the daemon's engine, independent of any transport.  One
+:class:`SchedulingService` owns
+
+* a **bounded thread pool** running the actual EP searches (and disk-cache
+  I/O) off the event loop;
+* a :class:`~repro.scheduling.warmstart.ScheduleWarmStartCache` -- the L1
+  in-memory LRU plus, when the persistent cache is active, the disk L2;
+* the **single-flight map**: concurrent requests for one
+  ``(structural_fingerprint, source, options_key)`` coalesce onto one
+  in-flight future, so a stampede of N identical requests costs exactly one
+  EP search (the other N-1 *await* it and receive the same record);
+* the metrics the introspection endpoint reports: hit/miss/coalesce
+  counters, queue depth and per-phase latency histograms.
+
+Timeouts and cancellation are **per waiter, never per search**: a client
+that gives up (timeout, dropped connection) detaches from the shared future
+without cancelling it -- the search keeps running for the remaining waiters
+and still populates the caches for the next request.  The search itself is
+bounded by ``SchedulerOptions.max_nodes``, which is what actually stops a
+runaway exploration.
+
+The sources of one multi-source request are scheduled *sequentially*: a
+``PetriNet`` object's lazy derived caches (indexed snapshot, structural
+analysis) are not safe to build from two threads at once.  Concurrency --
+and the coalescing win -- comes from the population of independent
+requests, each of which carries its own net object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.petrinet.fingerprint import structural_fingerprint
+from repro.petrinet.net import PetriNet
+from repro.scheduling.ep import SchedulerOptions, find_schedule
+from repro.scheduling.serialize import (
+    result_to_record,
+    schedule_dict_fingerprint,
+)
+from repro.scheduling.warmstart import (
+    ScheduleWarmStartCache,
+    options_cache_key,
+    record_live_search,
+)
+from repro.serve.protocol import ProtocolError
+
+_UNSET = object()
+
+
+class LatencyHistogram:
+    """Fixed log2 latency buckets (1ms .. ~65s), thread-safe.
+
+    Small enough to ship in every ``stats`` response, coarse enough to never
+    need rebinning; the overflow bucket catches anything slower than the
+    largest bound.
+    """
+
+    #: Upper bounds in seconds: 1ms, 2ms, 4ms, ... 65.536s.
+    BOUNDS = tuple(0.001 * (2**i) for i in range(17))
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one measurement."""
+        index = bisect.bisect_left(self.BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total_seconds += seconds
+            self.max_seconds = max(self.max_seconds, seconds)
+
+    @staticmethod
+    def _label(bound: float) -> str:
+        return f"<={bound * 1000:g}ms" if bound < 1 else f"<={bound:g}s"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot; zero buckets are omitted for brevity."""
+        with self._lock:
+            buckets = {}
+            for bound, count in zip(self.BOUNDS, self._counts):
+                if count:
+                    buckets[self._label(bound)] = count
+            if self._counts[-1]:
+                buckets[f">{self.BOUNDS[-1]:g}s"] = self._counts[-1]
+            mean = self.total_seconds / self.count if self.count else 0.0
+            return {
+                "count": self.count,
+                "mean_seconds": round(mean, 6),
+                "max_seconds": round(self.max_seconds, 6),
+                "buckets": buckets,
+            }
+
+
+class ServeMetrics:
+    """Counter block of one service instance (all increments locked)."""
+
+    COUNTERS = (
+        "requests",
+        "responses",
+        "errors",
+        "bad_requests",
+        "timeouts",
+        "coalesced",
+        "l1_hits",
+        "disk_hits",
+        "live_searches",
+        "uncacheable",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self.COUNTERS:
+            setattr(self, name, 0)
+        self.phases: Dict[str, LatencyHistogram] = {
+            "parse": LatencyHistogram(),
+            "build": LatencyHistogram(),
+            "search": LatencyHistogram(),
+            "total": LatencyHistogram(),
+        }
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Thread-safe increment of one counter."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot of counters + histograms for the stats endpoint."""
+        with self._lock:
+            counters = {name: getattr(self, name) for name in self.COUNTERS}
+        counters["cache_hits"] = counters["l1_hits"] + counters["disk_hits"]
+        return {
+            **counters,
+            "latency": {name: hist.as_dict() for name, hist in self.phases.items()},
+        }
+
+
+class SchedulingService:
+    """Coalescing, cache-fronted scheduling engine (transport-agnostic).
+
+    Parameters: ``max_workers`` bounds the searching thread pool (the queue
+    behind it is unbounded -- admission control is the transport's job);
+    ``search_timeout`` is the default per-*waiter* deadline in seconds
+    (``None`` waits forever); ``l1_capacity`` sizes the in-memory record
+    LRU; ``store`` pins a disk store (default: the process-wide active
+    store, i.e. ``repro.cache.activate()`` / ``REPRO_CACHE=1``; ``False``
+    keeps the service memory-only).
+
+    Example::
+
+        >>> import asyncio
+        >>> from repro.apps.paper_nets import figure_5
+        >>> service = SchedulingService(max_workers=2)
+        >>> async def demo():
+        ...     payloads = await service.schedule_net(figure_5(), ["a"], None)
+        ...     return payloads[0]["success"]
+        >>> asyncio.run(demo())
+        True
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 4,
+        search_timeout: Optional[float] = None,
+        l1_capacity: int = 256,
+        store=None,
+    ):
+        self.search_timeout = search_timeout
+        self.metrics = ServeMetrics()
+        self.cache = ScheduleWarmStartCache(l1_capacity, store=store)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._max_workers = max_workers
+        # (fingerprint, source, opts_key) -> future of (record, origin)
+        self._inflight: Dict[Tuple, "asyncio.Future"] = {}
+        self._search_tasks: set = set()
+        self._active_searches = 0
+        self._active_lock = threading.Lock()
+        self._closed = False
+        # test hook: wraps the underlying search (e.g. to inject latency)
+        self._search_fn = find_schedule
+
+    # -- introspection ------------------------------------------------------
+    def queue_depth(self) -> Dict[str, int]:
+        """In-flight work: distinct coalesced keys, busy workers, queued keys."""
+        with self._active_lock:
+            active = self._active_searches
+        inflight = len(self._inflight)
+        return {
+            "inflight_keys": inflight,
+            "active_searches": active,
+            "queued_searches": max(0, inflight - active),
+            "max_workers": self._max_workers,
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """The stats payload: metrics + queue depth + warm-start accounting."""
+        return {
+            **self.metrics.as_dict(),
+            "queue": self.queue_depth(),
+            "warmstart": self.cache.stats.as_dict(),
+            "l1_entries": len(self.cache),
+        }
+
+    # -- core ---------------------------------------------------------------
+    async def schedule_net(
+        self,
+        net: PetriNet,
+        sources: Sequence[str],
+        options: Optional[SchedulerOptions],
+        *,
+        timeout=_UNSET,
+    ) -> List[Dict[str, object]]:
+        """Schedule ``sources`` of ``net``, returning per-source payloads.
+
+        Sources are processed sequentially (see the module docstring); each
+        one independently coalesces with any identical request currently in
+        flight anywhere in the process.
+        """
+        options = options or SchedulerOptions()
+        loop = asyncio.get_running_loop()
+        # fingerprinting walks the whole net: off the event loop
+        fingerprint = await loop.run_in_executor(
+            self._executor, structural_fingerprint, net
+        )
+        payloads = []
+        for source in sources:
+            payloads.append(
+                await self.schedule_source(
+                    net, source, options, fingerprint=fingerprint, timeout=timeout
+                )
+            )
+        return payloads
+
+    async def schedule_source(
+        self,
+        net: PetriNet,
+        source: str,
+        options: SchedulerOptions,
+        *,
+        fingerprint: Optional[str] = None,
+        timeout=_UNSET,
+    ) -> Dict[str, object]:
+        """One source's canonical response payload, coalescing duplicates.
+
+        Raises :class:`ProtocolError` (kind ``timeout``) when the waiter
+        deadline expires first; the underlying search is *not* cancelled.
+        """
+        if self._closed:
+            raise ProtocolError("shutting-down", "service is draining")
+        loop = asyncio.get_running_loop()
+        if fingerprint is None:
+            fingerprint = await loop.run_in_executor(
+                self._executor, structural_fingerprint, net
+            )
+        opts_key = options_cache_key(options)
+        if timeout is _UNSET:
+            timeout = self.search_timeout
+        if opts_key is None:
+            # uncacheable (never happens via the wire protocol, but the
+            # service API accepts arbitrary options): straight through
+            self.metrics.bump("uncacheable")
+            record, origin = await loop.run_in_executor(
+                self._executor, self._compute, net, source, options, fingerprint
+            )
+            return self._payload(source, fingerprint, record, origin)
+        key = (fingerprint, source, opts_key)
+        future = self._inflight.get(key)
+        if future is None:
+            future = loop.create_future()
+            # consume exceptions even if every waiter gave up before the
+            # search finished, else the event loop logs a spurious warning
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            self._inflight[key] = future
+            task = loop.create_task(
+                self._drive_search(key, future, net, source, options, fingerprint)
+            )
+            self._search_tasks.add(task)
+            task.add_done_callback(self._search_tasks.discard)
+        else:
+            self.metrics.bump("coalesced")
+        try:
+            # shield: a cancelled/timed-out waiter must not tear down the
+            # shared search the other waiters are still attached to
+            record, origin = await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.metrics.bump("timeouts")
+            raise ProtocolError(
+                "timeout",
+                f"scheduling {source!r} did not finish within {timeout}s "
+                "(the search continues for other waiters)",
+            )
+        return self._payload(source, fingerprint, record, origin)
+
+    async def _drive_search(
+        self, key, future, net, source, options, fingerprint
+    ) -> None:
+        """Owner task of one in-flight key: runs the search, fans the result out."""
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._compute, net, source, options, fingerprint
+            )
+        except BaseException as error:  # noqa: BLE001 - fan the failure out
+            if not future.done():
+                if isinstance(error, ProtocolError):
+                    future.set_exception(error)
+                else:
+                    future.set_exception(
+                        ProtocolError("internal", f"scheduling failed: {error!r}")
+                    )
+        else:
+            if not future.done():
+                future.set_result(outcome)
+        finally:
+            self._inflight.pop(key, None)
+
+    def _compute(self, net, source, options, fingerprint):
+        """Executor-thread body: warm-start lookup, then a live search."""
+        start = time.perf_counter()
+        with self._active_lock:
+            self._active_searches += 1
+        try:
+            record, origin = self.cache.lookup_record_with_origin(
+                net, source, options, fingerprint=fingerprint
+            )
+            if record is None:
+                result = self._search_fn(net, source, options=options)
+                record_live_search(result.counters)
+                record = result_to_record(result)
+                self.cache.store_record(
+                    net, source, options, record, fingerprint=fingerprint
+                )
+                origin = "search"
+            if origin == "l1":
+                self.metrics.bump("l1_hits")
+            elif origin == "disk":
+                self.metrics.bump("disk_hits")
+            else:
+                self.metrics.bump("live_searches")
+            return record, origin
+        finally:
+            with self._active_lock:
+                self._active_searches -= 1
+            self.metrics.phases["search"].observe(time.perf_counter() - start)
+
+    @staticmethod
+    def _payload(
+        source: str,
+        net_fingerprint: str,
+        record: Mapping[str, object],
+        origin: str,
+    ) -> Dict[str, object]:
+        """The canonical per-source response body.
+
+        Deliberately free of per-waiter detail (who coalesced, who owned the
+        search): every one of N coalesced requesters receives byte-identical
+        results, which is what the regression tests pin.
+        """
+        schedule = record.get("schedule")
+        return {
+            "source": source,
+            "net_fingerprint": net_fingerprint,
+            "success": schedule is not None,
+            "schedule": schedule,
+            "schedule_fingerprint": (
+                schedule_dict_fingerprint(schedule) if schedule is not None else None
+            ),
+            "tree_nodes": record.get("tree_nodes"),
+            "elapsed_seconds": record.get("elapsed_seconds"),
+            "failure_reason": record.get("failure_reason"),
+            "counters": record.get("counters"),
+            "from_cache": origin in ("l1", "disk"),
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    async def drain(self, deadline: Optional[float] = None) -> bool:
+        """Stop admitting work and wait for in-flight searches to finish.
+
+        Returns True when everything completed within ``deadline`` seconds
+        (``None``: wait forever); leftover tasks keep running on the
+        executor but their results are dropped.
+        """
+        self._closed = True
+        pending = list(self._search_tasks)
+        if not pending:
+            return True
+        done, not_done = await asyncio.wait(pending, timeout=deadline)
+        return not not_done
+
+    def close(self) -> None:
+        """Release the executor (idempotent; in-flight threads finish first)."""
+        self._closed = True
+        self._executor.shutdown(wait=False)

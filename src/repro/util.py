@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Callable, Generic, Iterator, Optional, TypeVar
+from typing import Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -22,9 +23,16 @@ class BoundedLRU(Generic[K, V]):
     shared-memory views in a scheduling worker) can release them
     deterministically instead of waiting for garbage collection.  Exceptions
     raised by the callback propagate to the mutating call.
+
+    All operations are thread-safe: the scheduling-as-a-service executor
+    runs ``lookup``/``store`` from many threads against one shared L1, and
+    an unlocked ``OrderedDict`` corrupts its recency order (or double-fires
+    ``on_evict``, double-closing the owned resource) under that load.  A
+    re-entrant lock serializes every mutation *including* the ``on_evict``
+    callbacks, so each displaced value is released exactly once.
     """
 
-    __slots__ = ("capacity", "_store", "on_evict")
+    __slots__ = ("capacity", "_store", "on_evict", "_lock")
 
     def __init__(
         self,
@@ -36,36 +44,49 @@ class BoundedLRU(Generic[K, V]):
         self.capacity = capacity
         self.on_evict = on_evict
         self._store: "OrderedDict[K, V]" = OrderedDict()
+        # re-entrant: an on_evict callback may legitimately touch the LRU
+        # (e.g. to log its size) without deadlocking the mutating thread
+        self._lock = threading.RLock()
 
     def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
-        value = self._store.get(key, default)
-        if key in self._store:
-            self._store.move_to_end(key)
-        return value
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                return self._store[key]
+            return default
 
     def put(self, key: K, value: V) -> None:
-        previous = self._store.get(key)
-        self._store[key] = value
-        self._store.move_to_end(key)
-        if previous is not None and previous is not value and self.on_evict:
-            self.on_evict(key, previous)
-        while len(self._store) > self.capacity:
-            evicted_key, evicted_value = self._store.popitem(last=False)
+        displaced: List[Tuple[K, V]] = []
+        with self._lock:
+            previous = self._store.get(key)
+            self._store[key] = value
+            self._store.move_to_end(key)
+            if previous is not None and previous is not value:
+                displaced.append((key, previous))
+            while len(self._store) > self.capacity:
+                displaced.append(self._store.popitem(last=False))
             if self.on_evict:
-                self.on_evict(evicted_key, evicted_value)
+                # fire inside the lock: a concurrent put must not observe
+                # (and re-evict) a value whose callback has not finished
+                for evicted_key, evicted_value in displaced:
+                    self.on_evict(evicted_key, evicted_value)
 
     def clear(self) -> None:
-        if self.on_evict:
-            while self._store:
-                key, value = self._store.popitem(last=False)
-                self.on_evict(key, value)
-        self._store.clear()
+        with self._lock:
+            if self.on_evict:
+                while self._store:
+                    key, value = self._store.popitem(last=False)
+                    self.on_evict(key, value)
+            self._store.clear()
 
     def __contains__(self, key: K) -> bool:
-        return key in self._store
+        with self._lock:
+            return key in self._store
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __iter__(self) -> Iterator[K]:
-        return iter(self._store)
+        with self._lock:
+            return iter(list(self._store))

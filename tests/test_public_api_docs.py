@@ -75,6 +75,17 @@ PUBLIC_API = [
     ("repro.cache", "load_schedule_record"),
     ("repro.cache", "store_schedule_record"),
     ("repro.cache.cli", "main"),
+    # the scheduling daemon
+    ("repro.serve", "SchedulingService"),
+    ("repro.serve", "ScheduleServer"),
+    ("repro.serve", "start_server"),
+    ("repro.serve", "ServeMetrics"),
+    ("repro.serve", "LatencyHistogram"),
+    ("repro.serve", "ProtocolError"),
+    ("repro.serve", "net_to_dict"),
+    ("repro.serve", "net_from_dict"),
+    ("repro.serve", "options_from_dict"),
+    ("repro.serve.__main__", "main"),
     # experiments facade
     ("repro.experiments.common", "build_pfc_setup"),
 ]
@@ -86,6 +97,9 @@ MUST_HAVE_EXAMPLE = {
     ("repro.scheduling.ep", "SchedulerOptions"),
     ("repro.scheduling.warmstart", "ScheduleWarmStartCache"),
     ("repro.cache", None),  # the package docstring itself
+    ("repro.serve", None),  # the package docstring itself
+    ("repro.serve.server", "start_server"),
+    ("repro.serve.service", "SchedulingService"),
 }
 
 
@@ -144,6 +158,10 @@ def test_module_docstrings_exist():
         "repro.cache",
         "repro.cache.stores",
         "repro.cache.cli",
+        "repro.serve",
+        "repro.serve.protocol",
+        "repro.serve.service",
+        "repro.serve.server",
         "repro.scheduling.ep",
         "repro.scheduling.warmstart",
         "repro.scheduling.parallel",

@@ -1,0 +1,541 @@
+"""Scheduling-as-a-service: protocol, coalescing, cancellation, shutdown.
+
+The load-bearing contracts pinned here:
+
+* the structure-only net serialization round-trips (same structural
+  fingerprint, byte-identical schedules);
+* N concurrent requests for one ``(fingerprint, options, source)`` key run
+  exactly **one** live EP search (``LIVE_SEARCH_COUNTERS`` delta equals a
+  single serial search) and every requester receives byte-identical
+  results;
+* a cancelled or timed-out waiter never tears down the shared in-flight
+  search;
+* graceful shutdown drains in-flight requests before the listener dies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.apps import paper_nets
+from repro.apps.divisors import DIVISORS_SOURCE
+from repro.apps.workloads import producer_consumer_source, random_choice_net
+from repro.petrinet.fingerprint import structural_fingerprint
+from repro.scheduling.ep import SchedulerOptions, find_schedule
+from repro.scheduling.serialize import schedule_fingerprint
+from repro.scheduling.warmstart import LIVE_SEARCH_COUNTERS
+from repro.serve import (
+    ProtocolError,
+    SchedulingService,
+    net_from_dict,
+    net_to_dict,
+    options_from_dict,
+    start_server,
+)
+from repro.serve.protocol import (
+    canonical_json,
+    decode_line,
+    network_from_spec,
+    resolve_sources,
+)
+from repro.serve.service import LatencyHistogram
+
+
+async def _request(port: int, payload: dict) -> dict:
+    from repro.serve import protocol
+
+    # a schedule response line can exceed asyncio's default 64 KiB limit
+    reader, writer = await asyncio.open_connection(
+        "127.0.0.1", port, limit=protocol.MAX_LINE_BYTES
+    )
+    writer.write((json.dumps(payload) + "\n").encode())
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    assert line, "server closed the connection without answering"
+    return json.loads(line)
+
+
+def _slow(delay: float):
+    """A search wrapper adding ``delay`` so concurrent requests overlap."""
+
+    def wrapper(net, source, **kwargs):
+        time.sleep(delay)
+        return find_schedule(net, source, **kwargs)
+
+    return wrapper
+
+
+# ---------------------------------------------------------------------------
+# protocol: net serialization
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "builder,source",
+    [
+        (paper_nets.figure_4a, "a"),
+        (paper_nets.figure_5, "a"),
+        (paper_nets.figure_6, "d"),
+        (paper_nets.figure_8, "a"),
+    ],
+)
+def test_net_roundtrip_preserves_fingerprint_and_schedule(builder, source):
+    net = builder()
+    clone = net_from_dict(net_to_dict(net))
+    assert structural_fingerprint(clone) == structural_fingerprint(net)
+    original = find_schedule(net, source, raise_on_failure=True)
+    replayed = find_schedule(clone, source, raise_on_failure=True)
+    assert schedule_fingerprint(replayed.schedule) == schedule_fingerprint(
+        original.schedule
+    )
+
+
+def test_net_to_dict_is_deterministic():
+    first = canonical_json(net_to_dict(paper_nets.figure_5()))
+    second = canonical_json(net_to_dict(paper_nets.figure_5()))
+    assert first == second
+
+
+def test_net_roundtrip_keeps_place_attributes():
+    net = random_choice_net(3, seed=7)
+    clone = net_from_dict(net_to_dict(net))
+    assert set(clone.places) == set(net.places)
+    assert set(clone.transitions) == set(net.transitions)
+    assert clone.initial_tokens == net.initial_tokens
+    for name, place in net.places.items():
+        assert clone.places[name].bound == place.bound
+    for name, transition in net.transitions.items():
+        assert clone.transitions[name].source_kind == transition.source_kind
+
+
+def test_net_from_dict_rejects_garbage():
+    with pytest.raises(ProtocolError) as excinfo:
+        net_from_dict({"places": [{"name": "p"}], "arcs": [["p", "ghost", 1]]})
+    assert excinfo.value.kind == "bad-net"
+    with pytest.raises(ProtocolError):
+        net_from_dict("not a net")
+
+
+# ---------------------------------------------------------------------------
+# protocol: options and sources
+# ---------------------------------------------------------------------------
+
+
+def test_options_from_dict_defaults_and_whitelist():
+    assert options_from_dict(None) == SchedulerOptions()
+    options = options_from_dict({"backend": "scalar", "max_nodes": 500})
+    assert options.backend == "scalar"
+    assert options.max_nodes == 500
+    with pytest.raises(ProtocolError) as excinfo:
+        options_from_dict({"termination": "nope"})
+    assert excinfo.value.kind == "bad-options"
+    with pytest.raises(ProtocolError):
+        options_from_dict({"backend": "warp-drive"})
+    with pytest.raises(ProtocolError):
+        options_from_dict({"max_nodes": -1})
+
+
+def test_resolve_sources_validation():
+    net = paper_nets.figure_5()
+    assert resolve_sources(net, None) == net.uncontrollable_sources()
+    assert resolve_sources(net, ["a"]) == ["a"]
+    with pytest.raises(ProtocolError) as excinfo:
+        resolve_sources(net, ["ghost"])
+    assert excinfo.value.kind == "unknown-source"
+    with pytest.raises(ProtocolError):
+        resolve_sources(net, [])
+
+
+def test_network_from_spec_auto_environment():
+    network = network_from_spec({"program": DIVISORS_SOURCE})
+    from repro.flowc.linker import link
+
+    system = link(network)
+    assert "src.divisors.in" in system.net.transitions
+
+
+def test_decode_line_rejects_non_json():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_line(b"{not json")
+    assert excinfo.value.kind == "bad-json"
+    with pytest.raises(ProtocolError):
+        decode_line(b'"a bare string"')
+
+
+def test_latency_histogram_buckets():
+    hist = LatencyHistogram()
+    hist.observe(0.0005)
+    hist.observe(0.003)
+    hist.observe(120.0)
+    snap = hist.as_dict()
+    assert snap["count"] == 3
+    assert snap["buckets"]["<=1ms"] == 1
+    assert snap["buckets"]["<=4ms"] == 1
+    assert snap["buckets"][">65.536s"] == 1
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: schedule requests over TCP
+# ---------------------------------------------------------------------------
+
+
+def test_server_schedules_serialized_net():
+    async def scenario():
+        server = await start_server(max_workers=2)
+        try:
+            response = await _request(
+                server.port,
+                {
+                    "id": "r1",
+                    "op": "schedule",
+                    "net": net_to_dict(paper_nets.figure_5()),
+                    "sources": ["a"],
+                },
+            )
+        finally:
+            await server.shutdown()
+        return response
+
+    response = asyncio.run(scenario())
+    assert response["ok"] and response["id"] == "r1"
+    (result,) = response["results"]
+    serial = find_schedule(paper_nets.figure_5(), "a", raise_on_failure=True)
+    assert result["schedule_fingerprint"] == schedule_fingerprint(serial.schedule)
+    assert result["counters"]["nodes_expanded"] == serial.counters.nodes_expanded
+    assert result["success"] and not result["from_cache"]
+
+
+def test_server_schedules_flowc_program():
+    async def scenario():
+        server = await start_server(max_workers=2)
+        try:
+            response = await _request(
+                server.port,
+                {"op": "schedule", "flowc": {"program": DIVISORS_SOURCE}},
+            )
+        finally:
+            await server.shutdown()
+        return response
+
+    response = asyncio.run(scenario())
+    assert response["ok"], response
+    (result,) = response["results"]
+    assert result["source"] == "src.divisors.in"
+    assert result["success"]
+
+
+def test_server_schedules_flowc_network_with_channels():
+    spec = {
+        "program": producer_consumer_source(4),
+        "channels": [{"source": "producer.data", "target": "consumer.data", "bound": 4}],
+    }
+
+    async def scenario():
+        server = await start_server(max_workers=2)
+        try:
+            return await _request(server.port, {"op": "schedule", "flowc": spec})
+        finally:
+            await server.shutdown()
+
+    response = asyncio.run(scenario())
+    assert response["ok"], response
+    (result,) = response["results"]
+    assert result["source"] == "src.producer.trigger"
+    assert result["success"]
+
+
+def test_server_error_envelopes():
+    async def scenario():
+        server = await start_server(max_workers=1)
+        port = server.port
+        try:
+            bad_json = await _request(port, {})  # no net/flowc
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            raw = json.loads(await reader.readline())
+            writer.close()
+            unknown_op = await _request(port, {"op": "dance"})
+            unknown_source = await _request(
+                port,
+                {
+                    "op": "schedule",
+                    "net": net_to_dict(paper_nets.figure_5()),
+                    "sources": ["ghost"],
+                },
+            )
+        finally:
+            await server.shutdown()
+        return bad_json, raw, unknown_op, unknown_source
+
+    bad_request, bad_json, unknown_op, unknown_source = asyncio.run(scenario())
+    assert not bad_request["ok"] and bad_request["error"]["type"] == "bad-request"
+    assert not bad_json["ok"] and bad_json["error"]["type"] == "bad-json"
+    assert not unknown_op["ok"] and unknown_op["error"]["type"] == "bad-request"
+    assert not unknown_source["ok"]
+    assert unknown_source["error"]["type"] == "unknown-source"
+
+
+def test_stats_endpoint_reports_counters_and_histograms():
+    async def scenario():
+        server = await start_server(max_workers=1)
+        try:
+            await _request(
+                server.port,
+                {"op": "schedule", "net": net_to_dict(paper_nets.figure_5())},
+            )
+            return await _request(server.port, {"op": "stats"})
+        finally:
+            await server.shutdown()
+
+    response = asyncio.run(scenario())
+    assert response["ok"]
+    stats = response["stats"]
+    for key in (
+        "requests",
+        "responses",
+        "coalesced",
+        "cache_hits",
+        "live_searches",
+        "queue",
+        "latency",
+        "warmstart",
+    ):
+        assert key in stats, key
+    assert stats["requests"] == 1 and stats["responses"] == 1
+    assert stats["live_searches"] == 2  # figure_5 has two sources
+    assert stats["latency"]["search"]["count"] == 2
+    assert stats["queue"]["max_workers"] == 1
+    assert response["server"]["draining"] is False
+
+
+# ---------------------------------------------------------------------------
+# coalescing
+# ---------------------------------------------------------------------------
+
+
+def test_coalescing_runs_one_live_search_for_n_clients():
+    clients = 12
+    serial = find_schedule(paper_nets.figure_5(), "a", raise_on_failure=True)
+
+    async def scenario():
+        server = await start_server(max_workers=2)
+        server.service._search_fn = _slow(0.25)
+        payload = {
+            "op": "schedule",
+            "net": net_to_dict(paper_nets.figure_5()),
+            "sources": ["a"],
+        }
+        before = LIVE_SEARCH_COUNTERS.nodes_expanded
+        try:
+            responses = await asyncio.gather(
+                *[_request(server.port, payload) for _ in range(clients)]
+            )
+        finally:
+            await server.shutdown()
+        delta = LIVE_SEARCH_COUNTERS.nodes_expanded - before
+        return responses, delta, server.service.snapshot()
+
+    responses, delta, stats = asyncio.run(scenario())
+    # exactly one live EP search happened, for all twelve clients
+    assert delta == serial.counters.nodes_expanded
+    assert stats["live_searches"] == 1
+    assert stats["coalesced"] == clients - 1
+    assert stats["errors"] == 0
+    # and every client received byte-identical results
+    bodies = {canonical_json(response["results"]) for response in responses}
+    assert len(bodies) == 1
+    assert all(response["ok"] for response in responses)
+
+
+def test_requests_after_completion_hit_l1_not_coalesce():
+    async def scenario():
+        server = await start_server(max_workers=1)
+        payload = {
+            "op": "schedule",
+            "net": net_to_dict(paper_nets.figure_6()),
+            "sources": ["a"],
+        }
+        try:
+            first = await _request(server.port, payload)
+            second = await _request(server.port, payload)
+        finally:
+            await server.shutdown()
+        return first, second, server.service.snapshot()
+
+    first, second, stats = asyncio.run(scenario())
+    assert not first["results"][0]["from_cache"]
+    assert second["results"][0]["from_cache"]
+    assert stats["coalesced"] == 0 and stats["l1_hits"] == 1
+    assert (
+        first["results"][0]["schedule_fingerprint"]
+        == second["results"][0]["schedule_fingerprint"]
+    )
+
+
+def test_distinct_options_do_not_coalesce():
+    async def scenario():
+        server = await start_server(max_workers=2)
+        server.service._search_fn = _slow(0.15)
+        net = net_to_dict(paper_nets.figure_5())
+        try:
+            responses = await asyncio.gather(
+                _request(
+                    server.port,
+                    {"op": "schedule", "net": net, "sources": ["a"]},
+                ),
+                _request(
+                    server.port,
+                    {
+                        "op": "schedule",
+                        "net": net,
+                        "sources": ["a"],
+                        "options": {"backend": "scalar"},
+                    },
+                ),
+            )
+        finally:
+            await server.shutdown()
+        return responses, server.service.snapshot()
+
+    responses, stats = asyncio.run(scenario())
+    assert stats["coalesced"] == 0
+    assert stats["live_searches"] == 2
+    fingerprints = {r["results"][0]["schedule_fingerprint"] for r in responses}
+    assert len(fingerprints) == 1  # backends are schedule-equivalent
+
+
+# ---------------------------------------------------------------------------
+# cancellation and timeouts
+# ---------------------------------------------------------------------------
+
+
+def test_cancelled_waiter_does_not_kill_shared_search():
+    """A waiter task cancelled mid-flight leaves the search running."""
+
+    async def scenario():
+        service = SchedulingService(max_workers=1)
+        service._search_fn = _slow(0.3)
+        net = paper_nets.figure_5()
+        options = SchedulerOptions()
+        # precomputed so the second waiter keys immediately instead of
+        # queueing its fingerprint computation behind the busy worker
+        fingerprint = structural_fingerprint(net)
+        first = asyncio.create_task(
+            service.schedule_source(net, "a", options, fingerprint=fingerprint)
+        )
+        await asyncio.sleep(0.05)  # let it register in the single-flight map
+        second = asyncio.create_task(
+            service.schedule_source(net, "a", options, fingerprint=fingerprint)
+        )
+        await asyncio.sleep(0.05)
+        first.cancel()
+        try:
+            await first
+        except asyncio.CancelledError:
+            pass
+        payload = await second
+        service.close()
+        return payload, service.snapshot()
+
+    payload, stats = asyncio.run(scenario())
+    assert payload["success"]
+    assert stats["live_searches"] == 1
+    assert stats["coalesced"] == 1
+
+
+def test_disconnected_client_does_not_kill_shared_search():
+    """A client that drops its socket mid-request leaves the search running."""
+    serial = find_schedule(paper_nets.figure_6(), "a", raise_on_failure=True)
+
+    async def scenario():
+        server = await start_server(max_workers=1)
+        server.service._search_fn = _slow(0.3)
+        payload = {
+            "op": "schedule",
+            "net": net_to_dict(paper_nets.figure_6()),
+            "sources": ["a"],
+        }
+        before = LIVE_SEARCH_COUNTERS.nodes_expanded
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+            await asyncio.sleep(0.1)  # request admitted, search in flight
+            writer.close()  # ...and the client vanishes
+            response = await _request(server.port, payload)
+        finally:
+            await server.shutdown()
+        delta = LIVE_SEARCH_COUNTERS.nodes_expanded - before
+        return response, delta
+
+    response, delta = asyncio.run(scenario())
+    assert response["ok"] and response["results"][0]["success"]
+    assert delta == serial.counters.nodes_expanded  # still exactly one search
+
+
+def test_timeout_answers_error_and_search_completes_for_others():
+    async def scenario():
+        server = await start_server(max_workers=1)
+        server.service._search_fn = _slow(0.4)
+        payload = {
+            "op": "schedule",
+            "net": net_to_dict(paper_nets.figure_5()),
+            "sources": ["a"],
+        }
+        try:
+            timed_out, fine = await asyncio.gather(
+                _request(server.port, {**payload, "timeout": 0.05}),
+                _request(server.port, payload),
+            )
+        finally:
+            await server.shutdown()
+        return timed_out, fine, server.service.snapshot()
+
+    timed_out, fine, stats = asyncio.run(scenario())
+    assert not timed_out["ok"] and timed_out["error"]["type"] == "timeout"
+    assert fine["ok"] and fine["results"][0]["success"]
+    assert stats["timeouts"] == 1
+    assert stats["live_searches"] == 1  # the timed-out waiter did not re-search
+
+
+# ---------------------------------------------------------------------------
+# shutdown
+# ---------------------------------------------------------------------------
+
+
+def test_shutdown_drains_in_flight_requests():
+    async def scenario():
+        server = await start_server(max_workers=1, drain_deadline=5.0)
+        server.service._search_fn = _slow(0.3)
+        payload = {
+            "op": "schedule",
+            "net": net_to_dict(paper_nets.figure_5()),
+            "sources": ["a"],
+        }
+        request = asyncio.create_task(_request(server.port, payload))
+        await asyncio.sleep(0.1)  # admitted before the drain starts
+        clean = await server.shutdown()
+        response = await request
+        return clean, response
+
+    clean, response = asyncio.run(scenario())
+    assert clean is True
+    assert response["ok"] and response["results"][0]["success"]
+
+
+def test_shutdown_op_over_the_wire():
+    async def scenario():
+        server = await start_server(max_workers=1)
+        response = await _request(server.port, {"op": "shutdown"})
+        clean = await server.serve_until_shutdown()
+        return response, clean
+
+    response, clean = asyncio.run(scenario())
+    assert response["ok"] and response["shutting_down"]
+    assert clean is True

@@ -278,3 +278,49 @@ def random_multi_source_net(
             )
         )
     return merge_nets(rings, name=f"multi_source_{sources}_{transitions}_{suffix}")
+
+
+# ---------------------------------------------------------------------------
+# determinism contract
+# ---------------------------------------------------------------------------
+
+#: Every generator family of this module under a uniform ``seed -> PetriNet``
+#: signature.  The registry is the module's determinism contract: same seed,
+#: same bytes, in any process.  All randomness flows through an explicit
+#: ``random.Random(seed)`` and nothing depends on dict/set iteration order or
+#: on ``PYTHONHASHSEED``; ``tests/test_generator_determinism.py`` pins this
+#: by comparing :func:`generator_digest` across two fresh subprocesses with
+#: different hash seeds.
+GENERATORS = {
+    "producer_consumer": lambda seed: _linked_net(
+        build_producer_consumer_network(4 + 2 * (seed % 3), burst=1 + seed % 2)
+    ),
+    "pipeline": lambda seed: _linked_net(
+        build_pipeline_network(2 + seed % 3, 1 + seed % 4)
+    ),
+    "marked_graph": lambda seed: random_marked_graph(4 + seed % 4, seed=seed),
+    "choice": lambda seed: random_choice_net(2 + seed % 3, seed=seed),
+    "multi_source": lambda seed: random_multi_source_net(
+        2 + seed % 2, 3 + seed % 2, seed=seed
+    ),
+}
+
+
+def _linked_net(network: Network) -> PetriNet:
+    from repro.flowc.linker import link
+
+    return link(network).net
+
+
+def generator_digest(name: str, seed: int) -> str:
+    """Structural fingerprint of one registered generator's output.
+
+    The byte string two processes must agree on for the determinism test;
+    covers everything the scheduler reads (places, arcs, weights, markings,
+    source kinds, bounds).
+    """
+    from repro.petrinet.fingerprint import structural_fingerprint
+
+    if name not in GENERATORS:
+        raise KeyError(f"unknown generator {name!r} (have {sorted(GENERATORS)})")
+    return structural_fingerprint(GENERATORS[name](seed))

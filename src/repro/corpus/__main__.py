@@ -1,0 +1,8 @@
+"""``python -m repro.corpus`` -- run the corpus differential harness."""
+
+import sys
+
+from repro.corpus.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

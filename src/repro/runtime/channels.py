@@ -121,6 +121,58 @@ class EnvironmentSink:
         return len(self.values)
 
 
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable I/O event: a write of ``values`` to environment port
+    ``port``, stamped with a recorder-global sequence number."""
+
+    port: str
+    values: Tuple[Any, ...]
+    sequence: int
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records across all sinks of one run.
+
+    One recorder is shared by every :class:`TracingSink` of a simulation, so
+    ``events`` is the globally ordered I/O trace; ``by_channel`` projects it
+    to per-channel event sequences, the normal form compared by the corpus
+    differential harness (order *within* a channel is significant, global
+    interleaving *across* independent channels is not).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, port: str, values: Sequence[Any]) -> TraceEvent:
+        event = TraceEvent(port=port, values=tuple(values), sequence=len(self.events))
+        self.events.append(event)
+        return event
+
+    def by_channel(self) -> Dict[str, List[Tuple[Any, ...]]]:
+        channels: Dict[str, List[Tuple[Any, ...]]] = {}
+        for event in self.events:
+            channels.setdefault(event.port, []).append(event.values)
+        return channels
+
+
+class TracingSink(EnvironmentSink):
+    """An :class:`EnvironmentSink` that also records every write as a
+    :class:`TraceEvent` in a shared :class:`TraceRecorder`.
+
+    Installed via ``replace_sink`` on either simulator; ``values`` keeps
+    accumulating as usual, so ``SimulationResult.outputs`` is unaffected.
+    """
+
+    def __init__(self, name: str, recorder: TraceRecorder):
+        super().__init__(name)
+        self.recorder = recorder
+
+    def write(self, values: Sequence[Any]) -> None:
+        super().write(values)
+        self.recorder.record(self.name, values)
+
+
 @dataclass
 class CommunicationStats:
     """Per-kind communication accounting used by the cost model."""

@@ -284,6 +284,15 @@ class MultiTaskSimulation:
             raise KeyError(f"unknown environment input port {port!r}")
         self.sources[port].offer_many(values)
 
+    def replace_sink(self, port: str, sink: EnvironmentSink) -> None:
+        """Swap the sink of one environment output (e.g. for a TracingSink)."""
+        if port not in self.sinks:
+            raise KeyError(f"unknown environment output port {port!r}")
+        self.sinks[port] = sink
+        for binding in self._bindings.values():
+            if port in binding.sinks:
+                binding.bind_sink(port, sink)
+
     def run(self, *, max_rounds: int = 1_000_000) -> SimulationResult:
         scheduler = RoundRobinScheduler(self.tasks)
         costs: RtosCosts = scheduler.run_until_quiescent(max_rounds=max_rounds)
@@ -366,6 +375,13 @@ class SingleTaskSimulation:
             sink = EnvironmentSink(ref.port)
             self.sinks[ref.port] = sink
             self.binding.bind_sink(ref.port, sink)
+
+    def replace_sink(self, port: str, sink: EnvironmentSink) -> None:
+        """Swap the sink of one environment output (e.g. for a TracingSink)."""
+        if port not in self.sinks:
+            raise KeyError(f"unknown environment output port {port!r}")
+        self.sinks[port] = sink
+        self.binding.bind_sink(port, sink)
 
     # -- execution ---------------------------------------------------------------
     def run_events(self, port: str, values: Sequence[Any]) -> None:

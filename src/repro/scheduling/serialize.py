@@ -88,6 +88,27 @@ def schedule_fingerprint(schedule: Schedule) -> str:
     return schedule_dict_fingerprint(schedule_to_dict(schedule))
 
 
+def verify_roundtrip(schedule: Schedule) -> str:
+    """Assert serialize -> deserialize -> serialize is byte-stable.
+
+    Returns the fingerprint on success and raises :class:`ValueError` when
+    the round-tripped schedule diverges -- i.e. when the canonical form has
+    stopped being canonical.  The corpus differential harness runs this on
+    every schedule it synthesizes tasks from, so any drift between the
+    serializer and the :class:`Schedule` structure is caught by the corpus
+    before it can poison the cache or the serving daemon.
+    """
+    original = schedule_to_json(schedule)
+    rebuilt = schedule_from_dict(schedule.net, json.loads(original))
+    replayed = schedule_to_json(rebuilt)
+    if replayed != original:
+        raise ValueError(
+            "schedule serialization is not round-trip stable for source "
+            f"{schedule.source_transition!r}"
+        )
+    return schedule_fingerprint(schedule)
+
+
 def result_to_record(result: "SchedulerResult") -> Dict[str, object]:
     """Net-free record of a scheduling outcome.
 

@@ -1,0 +1,143 @@
+"""Direct unit tests of :mod:`repro.runtime.channels` boundary behaviour.
+
+The channel primitives were previously exercised only incidentally through
+the end-to-end simulator tests; these pin the blocking semantics of
+Section 3 at the edges -- unit capacity, empty reads, exhausted sources --
+plus the trace-recording hooks the corpus harness relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowc.interpreter import WouldBlock
+from repro.runtime.channels import (
+    ChannelBuffer,
+    EnvironmentSink,
+    EnvironmentSource,
+    PortBinding,
+    TraceRecorder,
+    TracingSink,
+)
+
+
+class TestChannelBufferBoundaries:
+    def test_unit_capacity_full_and_empty(self):
+        channel = ChannelBuffer("c", capacity=1)
+        assert channel.can_write(1) and not channel.can_read(1)
+        channel.write([7])
+        assert not channel.can_write(1) and channel.can_read(1)
+        assert channel.space() == 0
+        with pytest.raises(WouldBlock):
+            channel.write([8])
+        assert channel.read(1) == [7]
+        assert channel.can_write(1) and not channel.can_read(1)
+        with pytest.raises(WouldBlock):
+            channel.read(1)
+
+    def test_burst_larger_than_unit_capacity_never_fits(self):
+        channel = ChannelBuffer("c", capacity=1)
+        assert not channel.can_write(2)
+        with pytest.raises(WouldBlock):
+            channel.write([1, 2])
+        # the failed write must not have committed anything
+        assert channel.occupancy == 0
+
+    def test_zero_item_operations_on_empty_channel(self):
+        channel = ChannelBuffer("c", capacity=1)
+        assert channel.can_read(0)
+        assert channel.read(0) == []
+        channel.write([])
+        assert channel.occupancy == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChannelBuffer("c", capacity=0)
+        with pytest.raises(ValueError):
+            ChannelBuffer("c", capacity=-3)
+
+    def test_max_occupancy_tracks_high_water_mark(self):
+        channel = ChannelBuffer("c", capacity=None)
+        channel.write([1, 2, 3])
+        channel.read(2)
+        channel.write([4])
+        assert channel.occupancy == 2
+        assert channel.max_occupancy == 3
+        assert channel.total_written == 4
+        assert channel.total_read == 2
+
+    def test_unbounded_channel_reports_no_space_limit(self):
+        channel = ChannelBuffer("c")
+        assert channel.space() is None
+        assert channel.can_write(10**6)
+
+
+class TestEnvironmentEndpoints:
+    def test_source_blocks_when_exhausted(self):
+        source = EnvironmentSource("ev", [1, 2])
+        assert source.read(2) == [1, 2]
+        assert source.total_consumed == 2
+        with pytest.raises(WouldBlock):
+            source.read(1)
+        source.offer(3)
+        assert source.read(1) == [3]
+
+    def test_sink_accumulates_across_writes(self):
+        sink = EnvironmentSink("out")
+        sink.write([1])
+        sink.write([2, 3])
+        assert sink.values == [1, 2, 3]
+        assert len(sink) == 3
+
+
+class TestTracing:
+    def test_recorder_orders_events_globally_and_per_channel(self):
+        recorder = TraceRecorder()
+        a = TracingSink("a", recorder)
+        b = TracingSink("b", recorder)
+        a.write([1])
+        b.write([2, 3])
+        a.write([4])
+        assert [event.sequence for event in recorder.events] == [0, 1, 2]
+        assert recorder.by_channel() == {"a": [(1,), (4,)], "b": [(2, 3)]}
+        # the sink contract is unchanged: values still accumulate
+        assert a.values == [1, 4]
+
+    def test_tracing_sink_is_a_drop_in_sink(self):
+        recorder = TraceRecorder()
+        binding = PortBinding()
+        binding.bind_sink("out", TracingSink("out", recorder))
+        binding.write("out", [9], 1)
+        assert recorder.by_channel() == {"out": [(9,)]}
+        assert binding.stats.environment_writes == 1
+
+
+class TestPortBindingBoundaries:
+    def test_unbound_ports_raise(self):
+        binding = PortBinding()
+        with pytest.raises(KeyError):
+            binding.read("nope", 1)
+        with pytest.raises(KeyError):
+            binding.write("nope", [1], 1)
+        assert not binding.can_read("nope", 1)
+        assert not binding.can_write("nope", 1)
+
+    def test_select_blocks_when_no_entry_ready(self):
+        binding = PortBinding()
+        empty = ChannelBuffer("c", capacity=1)
+        binding.bind_reader("in", empty)
+        with pytest.raises(WouldBlock):
+            binding.select([("in", 1)])
+        empty.write([5])
+        assert binding.select([("in", 1)]) == 0
+
+    def test_select_prefers_first_ready_entry(self):
+        binding = PortBinding()
+        full = ChannelBuffer("full", capacity=1)
+        full.write([1])
+        binding.bind_writer("w", full)
+        ready = ChannelBuffer("r", capacity=1)
+        ready.write([2])
+        binding.bind_reader("r", ready)
+        # writing to the full channel cannot proceed; reading can
+        assert binding.select([("w", 1), ("r", 1)]) == 1

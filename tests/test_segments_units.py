@@ -1,0 +1,146 @@
+"""Direct unit tests of :mod:`repro.codegen.segments` edge cases.
+
+Hand-built minimal schedules pin the thread extraction and code-segment
+construction at their boundaries -- the empty reaction, single-transition
+reactions, unknown-ECS lookups and await-node placement -- independently of
+the end-to-end codegen tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.segments import (
+    ecs_label,
+    extract_code_segments,
+    extract_threads,
+    threads_are_equivalent,
+)
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import PetriNet, SourceKind
+from repro.scheduling.schedule import Schedule
+
+
+def _minimal_net() -> PetriNet:
+    """src -> p -> consume, with src uncontrollable."""
+    net = PetriNet("minimal")
+    net.add_place("p")
+    net.add_place("ctl", 1)
+    net.add_transition("src", source_kind=SourceKind.UNCONTROLLABLE)
+    net.add_transition("consume")
+    net.add_arc("src", "p")
+    net.add_arc("p", "consume")
+    net.add_arc("ctl", "consume")
+    net.add_arc("consume", "ctl")
+    return net
+
+
+def _single_reaction_schedule(net: PetriNet) -> Schedule:
+    """root --src--> (p=1) --consume--> root."""
+    schedule = Schedule(net=net, source_transition="src")
+    schedule.add_node(Marking({"ctl": 1}))
+    schedule.add_node(Marking({"ctl": 1, "p": 1}))
+    schedule.add_edge(0, "src", 1)
+    schedule.add_edge(1, "consume", 0)
+    return schedule
+
+
+def _empty_reaction_schedule() -> Schedule:
+    """A source with no postset: the reaction does nothing at all."""
+    net = PetriNet("empty")
+    net.add_transition("src", source_kind=SourceKind.UNCONTROLLABLE)
+    schedule = Schedule(net=net, source_transition="src")
+    schedule.add_node(Marking({}))
+    schedule.add_edge(0, "src", 0)
+    return schedule
+
+
+class TestThreads:
+    def test_single_reaction_thread(self):
+        schedule = _single_reaction_schedule(_minimal_net())
+        threads = extract_threads(schedule)
+        assert len(threads) == 1
+        (thread,) = threads
+        assert thread.start_node == 0
+        assert thread.nodes == {0, 1}
+        # the reaction terminates back at the await node
+        assert thread.end_nodes == {0}
+
+    def test_empty_reaction_thread(self):
+        schedule = _empty_reaction_schedule()
+        (thread,) = extract_threads(schedule)
+        assert thread.nodes == {0}
+        assert thread.end_nodes == {0}
+
+    def test_thread_is_equivalent_to_itself(self):
+        schedule = _single_reaction_schedule(_minimal_net())
+        (thread,) = extract_threads(schedule)
+        assert threads_are_equivalent(schedule, thread, thread)
+
+
+class TestSegments:
+    def test_single_reaction_segments(self):
+        schedule = _single_reaction_schedule(_minimal_net())
+        segments = extract_code_segments(schedule)
+        assert segments.source_ecs == frozenset({"src"})
+        # consume is inlined under the entry segment: one segment, two nodes
+        assert len(segments.segments) == 1
+        assert len(segments.entry_segment) == 2
+        child = segments.entry_segment.root.children["src"]
+        assert child.ecs == frozenset({"consume"})
+        # the reaction's last transition returns to the await node
+        jump = child.jumps["consume"]
+        assert jump.deterministic and jump.is_return
+        # no state-indexed switches anywhere, so no state variables either
+        assert segments.state_places() == []
+
+    def test_empty_reaction_segment(self):
+        schedule = _empty_reaction_schedule()
+        segments = extract_code_segments(schedule)
+        assert len(segments.segments) == 1
+        assert len(segments.entry_segment) == 1
+        jump = segments.entry_segment.root.jumps["src"]
+        assert jump.deterministic and jump.is_return
+
+    def test_segment_for_unknown_ecs_raises(self):
+        schedule = _single_reaction_schedule(_minimal_net())
+        segments = extract_code_segments(schedule)
+        with pytest.raises(KeyError):
+            segments.segment_for(frozenset({"no_such_transition"}))
+
+    def test_ecs_label_is_sorted_and_stable(self):
+        assert ecs_label(frozenset({"b", "a"})) == "a_b"
+
+
+class TestAwaitPlacement:
+    """Await nodes must stay segment roots -- never inlined mid-segment."""
+
+    def test_await_ecs_is_never_an_inlined_child(self, divisors_schedule):
+        segments = extract_code_segments(divisors_schedule)
+        await_ecss = {
+            frozenset(node.edges) for node in divisors_schedule.await_nodes()
+        }
+        inlined = {
+            child.ecs
+            for segment in segments.segments
+            for node in segment.nodes()
+            for child in node.children.values()
+        }
+        assert not (await_ecss & inlined)
+
+    def test_each_ecs_emitted_exactly_once(self, divisors_schedule):
+        """Section 6.2's property: full coverage, one emission per ECS."""
+        segments = extract_code_segments(divisors_schedule)
+        emitted = [
+            node.ecs for segment in segments.segments for node in segment.nodes()
+        ]
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == set(segments.node_by_ecs)
+
+    def test_threads_start_and_end_on_await_nodes(self, divisors_schedule):
+        await_indices = {node.index for node in divisors_schedule.await_nodes()}
+        threads = extract_threads(divisors_schedule)
+        assert threads, "schedule must have at least one reaction"
+        for thread in threads:
+            assert thread.start_node in await_indices
+            assert thread.end_nodes <= await_indices

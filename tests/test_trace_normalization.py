@@ -1,0 +1,87 @@
+"""Tests of the corpus trace normalization itself.
+
+Equivalence must be *insensitive* to legal interleavings of independent
+environment channels (the round-robin baseline and the synthesized task emit
+to unrelated channels in different global orders) yet *reject* reordered
+events on any one channel.  Both directions are pinned here, because a
+normalizer that is too loose silently accepts broken codegen and one that is
+too strict rejects every legal run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.differential import normalize_trace, trace_diff, traces_equivalent
+from repro.runtime.channels import TraceRecorder, TracingSink
+
+
+def _record(script):
+    """Build a recorder from [(port, values), ...] in the given global order."""
+    recorder = TraceRecorder()
+    sinks = {}
+    for port, values in script:
+        sink = sinks.setdefault(port, TracingSink(port, recorder))
+        sink.write(values)
+    return recorder
+
+
+class TestInterleavingInsensitivity:
+    def test_independent_channel_interleavings_are_equivalent(self):
+        interleaved = _record([("a", [1]), ("b", [9]), ("a", [2]), ("b", [8])])
+        grouped = _record([("a", [1]), ("a", [2]), ("b", [9]), ("b", [8])])
+        assert traces_equivalent(interleaved, grouped)
+        assert trace_diff(interleaved, grouped) is None
+
+    def test_reversed_global_order_is_equivalent(self):
+        forward = _record([("a", [1]), ("b", [2])])
+        backward = _record([("b", [2]), ("a", [1])])
+        assert traces_equivalent(forward, backward)
+
+    def test_three_channel_shuffle(self):
+        left = _record([("a", [1]), ("b", [2]), ("c", [3]), ("a", [4])])
+        right = _record([("c", [3]), ("a", [1]), ("a", [4]), ("b", [2])])
+        assert traces_equivalent(left, right)
+
+
+class TestSameChannelOrderSensitivity:
+    def test_reordered_events_on_one_channel_rejected(self):
+        ordered = _record([("a", [1]), ("a", [2])])
+        reordered = _record([("a", [2]), ("a", [1])])
+        assert not traces_equivalent(ordered, reordered)
+        diff = trace_diff(ordered, reordered)
+        assert diff is not None and "'a'" in diff and "event 0" in diff
+
+    def test_reorder_on_one_of_many_channels_rejected(self):
+        left = _record([("a", [1]), ("b", [5]), ("a", [2]), ("b", [6])])
+        right = _record([("a", [1]), ("b", [6]), ("a", [2]), ("b", [5])])
+        assert not traces_equivalent(left, right)
+        assert "'b'" in trace_diff(left, right)
+
+    def test_missing_events_rejected(self):
+        full = _record([("a", [1]), ("a", [2])])
+        truncated = _record([("a", [1])])
+        assert not traces_equivalent(full, truncated)
+        assert "2 vs 1 events" in trace_diff(full, truncated)
+
+    def test_missing_channel_rejected(self):
+        both = _record([("a", [1]), ("b", [2])])
+        one = _record([("a", [1])])
+        assert not traces_equivalent(both, one)
+        assert "'b'" in trace_diff(both, one)
+
+
+class TestEventGranularity:
+    def test_burst_boundaries_are_significant(self):
+        """One 2-item write is not the same event as two 1-item writes."""
+        burst = _record([("a", [1, 2])])
+        split = _record([("a", [1]), ("a", [2])])
+        assert normalize_trace(burst) == {"a": [(1, 2)]}
+        assert normalize_trace(split) == {"a": [(1,), (2,)]}
+        assert not traces_equivalent(burst, split)
+
+    def test_mapping_input_form_normalizes_like_recorders(self):
+        recorder = _record([("a", [1]), ("a", [2, 3])])
+        mapping = {"a": [[1], [2, 3]]}
+        assert normalize_trace(mapping) == normalize_trace(recorder)
+        assert traces_equivalent(mapping, recorder)

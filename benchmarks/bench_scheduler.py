@@ -311,6 +311,92 @@ def _run_shm_phase(cases, *, workers: int) -> Dict[str, object]:
     return info
 
 
+def _intra_case(
+    name: str, net, *, worker_counts: Sequence[int], repeats: int
+) -> Dict[str, object]:
+    """One single-source case timed at each intra-search worker count.
+
+    Every worker count must reproduce the ``intra_workers=1`` schedule,
+    fingerprint and tree size byte-for-byte (the repro.scheduling.intra
+    determinism contract); ``identical_schedules`` records the cross-check
+    and the per-count ``stats`` expose how much was actually stolen.
+    """
+    from repro.scheduling.serialize import schedule_fingerprint
+
+    source = net.uncontrollable_sources()[0]
+    timings: Dict[str, float] = {}
+    stats: Dict[str, Dict[str, object]] = {}
+    signatures = []
+    for count in worker_counts:
+        options = SchedulerOptions(intra_workers=count)
+        times: List[float] = []
+        result = None
+        for _ in range(repeats):
+            start = time.monotonic()
+            result = find_schedule(net, source, options=options)
+            times.append(time.monotonic() - start)
+        timings[str(count)] = round(min(times), 4)
+        signatures.append(
+            (
+                schedule_to_json(result.schedule) if result.schedule else None,
+                schedule_fingerprint(result.schedule) if result.schedule else None,
+                result.tree_nodes,
+            )
+        )
+        if result.intra_stats is not None:
+            stats[str(count)] = {
+                key: value
+                for key, value in result.intra_stats.items()
+                if key != "workers"
+            }
+    base = timings[str(worker_counts[0])]
+    speedups = {
+        str(count): (
+            round(base / timings[str(count)], 3) if timings[str(count)] else None
+        )
+        for count in worker_counts[1:]
+    }
+    return {
+        "case": name,
+        "source": source,
+        "seconds": timings,
+        "intra_speedup": speedups,
+        "stats": stats,
+        "identical_schedules": all(sig == signatures[0] for sig in signatures),
+    }
+
+
+def _run_intra_phase(
+    cases, *, worker_counts: Sequence[int], repeats: int
+) -> Dict[str, object]:
+    """The ``intra`` section: intra-search work stealing on the PFC cases.
+
+    Only the single-source pfc geometries are timed -- they are exactly the
+    nets the per-source fan-out cannot help, which is the gap the intra
+    layer exists to close.
+    """
+    cpu_count = os.cpu_count() or 1
+    info: Dict[str, object] = {
+        "workers_timed": list(worker_counts),
+        "cpu_count": cpu_count,
+        "cases": [
+            _intra_case(name, net, worker_counts=worker_counts, repeats=repeats)
+            for name, net in cases
+            if name.startswith("pfc")
+        ],
+    }
+    if cpu_count < max(worker_counts):
+        # mirror the workers_exceed_cores flag of the per-source section:
+        # identity checks remain meaningful here, the speedups do not
+        info["workers_exceed_cores"] = True
+        info["note"] = (
+            f"cpu_count={cpu_count} is below the largest intra worker count "
+            f"{max(worker_counts)}: helper processes time-share the cores, so "
+            "intra_speedup records determinism overhead, not parallel gain"
+        )
+    return info
+
+
 def _cache_case(name: str, net) -> Dict[str, object]:
     """Time one case's cache-active scheduling path (cold or warm process).
 
@@ -401,6 +487,7 @@ def run_cli_bench(
     cache_dir: Optional[str] = None,
     cache_clear: bool = False,
     profile: bool = False,
+    intra_workers: int = 4,
 ) -> Dict[str, object]:
     repeats = repeats or (1 if quick else 3)
     cases = [
@@ -432,6 +519,16 @@ def run_cli_bench(
         profile_rows = (
             _run_profile_phase(cases, backends=backends) if profile else None
         )
+        intra_counts = sorted(
+            {1}
+            | {count for count in (2, 4) if count <= intra_workers}
+            | ({intra_workers} if intra_workers > 1 else set())
+        )
+        intra_info = (
+            _run_intra_phase(cases, worker_counts=intra_counts, repeats=repeats)
+            if len(intra_counts) > 1
+            else None
+        )
     shm_info = _run_shm_phase(cases, workers=workers)
     cpu_count = os.cpu_count() or 1
     report: Dict[str, object] = {
@@ -449,6 +546,8 @@ def run_cli_bench(
         "shm": shm_info,
         "cases": rows,
     }
+    if intra_info is not None:
+        report["intra"] = intra_info
     if profile_rows is not None:
         report["profile"] = {"top_n": PROFILE_TOP_N, "cases": profile_rows}
     if workers > cpu_count:
@@ -479,6 +578,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="EP-search backend to time; 'all' runs scalar, batched and "
         "kernel and reports the relative speedups; 'both' keeps the "
         "pre-kernel scalar+batched pair (default: all)",
+    )
+    parser.add_argument(
+        "--intra-workers",
+        type=int,
+        default=4,
+        help="largest intra-search worker count to time on the pfc cases "
+        "(the 'intra' section runs workers 1..N from {1,2,4,N}; 1 disables "
+        "the section; default: 4)",
     )
     parser.add_argument(
         "--quick",
@@ -541,6 +648,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=args.cache_dir,
         cache_clear=args.cache_clear,
         profile=args.profile,
+        intra_workers=args.intra_workers,
     )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -602,9 +710,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"hottest={hottest['function']} "
                     f"cum={hottest['cumulative_seconds']:.3f}s"
                 )
+    if "intra" in report:
+        intra_info = report["intra"]
+        if "note" in intra_info:
+            print(f"NOTE: {intra_info['note']}", file=sys.stderr)
+        for row in intra_info["cases"]:
+            timings = " ".join(
+                f"w{count}={seconds:.3f}s"
+                for count, seconds in row["seconds"].items()
+            )
+            speedups = " ".join(
+                f"x{count}={ratio}" for count, ratio in row["intra_speedup"].items()
+            )
+            print(
+                f"intra {row['case']:<16} {timings} {speedups} "
+                f"identical={row['identical_schedules']}"
+            )
     print(f"wrote {args.output}")
     if not all(row["identical_schedules"] for row in report["cases"]):
         print("ERROR: schedules diverge across backends/parallelism", file=sys.stderr)
+        return 1
+    if "intra" in report and not all(
+        row["identical_schedules"] for row in report["intra"]["cases"]
+    ):
+        print(
+            "ERROR: schedules diverge across intra-search worker counts",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

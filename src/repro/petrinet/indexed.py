@@ -28,6 +28,7 @@ structural mutation invalidates the cache.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.petrinet.marking import Marking
@@ -106,6 +107,20 @@ class MarkingStore:
 
     def __contains__(self, vec: MarkingVec) -> bool:
         return vec in self._store
+
+    def vecs_since(self, mark: int) -> List[MarkingVec]:
+        """The canonical vectors admitted after the store held ``mark`` entries.
+
+        Dicts preserve insertion order, so this is the exact admission-ordered
+        delta since a ``len(store)`` snapshot.  The intra-search work-stealing
+        layer ships each stolen subtree's delta back to the parent, which
+        re-interns it so the parent's ``interned_markings`` total matches the
+        serial search's (interning is idempotent; the sets are equal even if
+        the admission order differs).
+        """
+        if mark <= 0:
+            return list(self._store)
+        return list(islice(self._store, mark, None))
 
 
 class IndexedNet:

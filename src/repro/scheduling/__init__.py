@@ -14,6 +14,9 @@
   sequences (Definition 4.1) and dynamic executability checking.
 * :mod:`repro.scheduling.parallel` -- per-source EP searches fanned out over
   a process pool, merged back deterministically.
+* :mod:`repro.scheduling.intra` -- work stealing *within* one EP search:
+  per-ECS subtrees speculatively executed by helper processes and spliced
+  back in canonical order (``SchedulerOptions.intra_workers``).
 * :mod:`repro.scheduling.serialize` -- canonical schedule (de)serialization
   used by the golden fixtures, the parallel merge and the warm-start cache.
 * :mod:`repro.scheduling.warmstart` -- schedule replay keyed on structural

@@ -124,6 +124,12 @@ class SchedulerOptions:
       :func:`repro.petrinet.kernel.resolve_kernel_tier`).  Parallel
       fan-outs pin the resolved tier into the options they ship so every
       worker runs the coordinator's decision.
+    * ``intra_workers`` -- parallelism *within* one EP search: with a value
+      ``K > 1`` the search forks per-ECS subtrees to ``K - 1`` helper
+      processes and splices their results back in canonical order
+      (:mod:`repro.scheduling.intra`).  Results are byte-identical for
+      every value, so this is a worker-topology knob, not part of the
+      result identity -- the warm-start cache key deliberately ignores it.
 
     Example::
 
@@ -152,6 +158,11 @@ class SchedulerOptions:
     backend: str = "auto"
     # Kernel-backend execution tier: "compiled" | "numpy" | None (auto).
     kernel_tier: Optional[str] = None
+    # Intra-search work stealing: total executors for ONE search (the parent
+    # plus intra_workers - 1 helper processes).  1 = the plain serial search.
+    # Observationally a no-op: schedules, fingerprints and tree shapes are
+    # byte-identical at any value (see repro.scheduling.intra).
+    intra_workers: int = 1
 
 
 @dataclass
@@ -490,6 +501,11 @@ class SchedulerResult:
     # True when the result was replayed from a warm-start cache rather than
     # searched (tree_nodes / counters then describe the original search).
     from_cache: bool = False
+    # Intra-search work-stealing accounting (forks, steals, fallbacks) when
+    # the search ran with intra_workers > 1; None otherwise.  Deliberately
+    # NOT part of result_to_record: worker topology is not result identity,
+    # so cache records and wire responses never carry it.
+    intra_stats: Optional[Dict[str, object]] = None
 
     @property
     def success(self) -> bool:
@@ -884,9 +900,29 @@ class _EPSearch:
             non_source = list(ordered)
             source_ecss = []
 
+        return self._run_ecs_loop(v, target, non_source, source_ecss, frontier)
+
+    def _run_ecs_loop(
+        self,
+        v: int,
+        target: int,
+        non_source: List[ECS],
+        source_ecss: List[ECS],
+        frontier: Optional[_Frontier],
+    ) -> Optional[int]:
+        """Consume the ordered candidate ECSs of ``v``, serially.
+
+        The tail of EP: try every non-source ECS in heuristic order (early
+        exit as soon as an entering point is an ancestor of ``target``,
+        otherwise keep the shallowest), then -- only if none produced an
+        entering point -- the deferred source ECSs (Section 4.4).  The
+        intra-search work-stealing layer (:mod:`repro.scheduling.intra`)
+        overrides this seam to speculatively fork the per-ECS subtrees while
+        consuming the results in exactly this order.
+        """
         best: Optional[int] = UNDEF
         for ecs in non_source:
-            entering_point = self._ep_ecs(ecs, v, target, frontier)
+            entering_point = self._ecs_entering_point(ecs, v, target, frontier)
             if entering_point is UNDEF:
                 continue
             if self.tree.is_ancestor(entering_point, target):
@@ -898,7 +934,7 @@ class _EPSearch:
         if best is not UNDEF:
             return best
         for ecs in source_ecss:
-            entering_point = self._ep_ecs(ecs, v, target, frontier)
+            entering_point = self._ecs_entering_point(ecs, v, target, frontier)
             if entering_point is UNDEF:
                 continue
             if self.tree.is_ancestor(entering_point, target):
@@ -908,6 +944,12 @@ class _EPSearch:
                 self.tree.nodes[v].ecs_choice = ecs
                 best = entering_point
         return best
+
+    def _ecs_entering_point(
+        self, ecs: ECS, v: int, target: int, frontier: Optional[_Frontier]
+    ) -> Optional[int]:
+        """Entering point of one candidate ECS (the per-ECS subtree unit)."""
+        return self._ep_ecs(ecs, v, target, frontier)
 
     # -- EP_ECS ---------------------------------------------------------------
     def _ep_ecs(
@@ -1051,7 +1093,16 @@ def find_schedule(
     options = options or SchedulerOptions()
     if source_transition not in net.transitions:
         raise KeyError(f"unknown transition {source_transition!r}")
-    search = _EPSearch(net, source_transition, options, analysis=analysis, heuristic=heuristic)
+    if options.intra_workers > 1:
+        from repro.scheduling.intra import IntraSearch
+
+        search: _EPSearch = IntraSearch(
+            net, source_transition, options, analysis=analysis, heuristic=heuristic
+        )
+    else:
+        search = _EPSearch(
+            net, source_transition, options, analysis=analysis, heuristic=heuristic
+        )
     result = search.run()
     if raise_on_failure and not result.success:
         raise SchedulingFailure(
@@ -1077,7 +1128,11 @@ def find_all_schedules(
     With ``workers`` greater than one the independent per-source EP searches
     fan out over a process pool (see :mod:`repro.scheduling.parallel`); the
     results are value-identical to the serial path, merged back in the same
-    deterministic source order.
+    deterministic source order.  With ``options.intra_workers`` greater than
+    one each search is instead parallelised *internally* (subtree work
+    stealing, :mod:`repro.scheduling.intra`) and sources run sequentially
+    through that one shared pool -- the right shape for nets with few
+    sources; ``intra_workers`` takes precedence over ``workers``.
 
     ``backend`` overrides ``options.backend`` ("scalar" | "batched" |
     "kernel" | "auto"); the hot-loop backends produce byte-identical
@@ -1101,7 +1156,16 @@ def find_all_schedules(
     options = options or SchedulerOptions()
     if backend is not None:
         options = replace(options, backend=backend)
-    if workers is not None and workers > 1:
+    # Composition rule for the two parallel layers: with intra_workers > 1
+    # the per-source fan-out is NOT nested on top -- sources run one after
+    # another through the single intra-search worker pool (pools are shared
+    # process-wide per helper count), so sources x subtrees share one pool
+    # instead of multiplying process counts.
+    if (
+        workers is not None
+        and workers > 1
+        and options.intra_workers <= 1
+    ):
         from repro.scheduling.parallel import find_all_schedules_parallel
 
         return find_all_schedules_parallel(

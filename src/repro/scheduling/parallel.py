@@ -328,6 +328,11 @@ def find_all_schedules_parallel(
         # coordinator's compiled/numpy decision (and only the coordinator
         # emits the fallback RuntimeWarning), re-degrading locally only if
         # their own environment cannot honour a "compiled" pin.
+        # intra_workers is pinned to 1: the composition rule is sources x
+        # subtrees sharing ONE pool, owned by the coordinating process
+        # (find_all_schedules routes to the intra layer instead of here when
+        # intra_workers > 1) -- a per-source worker must never fork its own
+        # helper pool underneath this fan-out.
         resolved_backend = resolve_backend_for(net, options)
         resolved_tier = options.kernel_tier
         if resolved_backend == "kernel":
@@ -335,7 +340,10 @@ def find_all_schedules_parallel(
 
             resolved_tier = resolve_kernel_tier(options.kernel_tier)
         options = replace(
-            options, backend=resolved_backend, kernel_tier=resolved_tier
+            options,
+            backend=resolved_backend,
+            kernel_tier=resolved_tier,
+            intra_workers=1,
         )
         options_blob = pickle.dumps(options, protocol=pickle.HIGHEST_PROTOCOL)
 

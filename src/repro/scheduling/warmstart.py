@@ -108,6 +108,11 @@ def options_cache_key(options: SchedulerOptions) -> Optional[Tuple]:
         # keeps each tier's recorded counters/timings attributable (and a
         # pinned-options fan-out hits the same entries as its workers)
         _effective_kernel_tier(options),
+        # intra_workers is deliberately NOT part of the key: intra-search
+        # work stealing is byte-identical at any worker count (the
+        # repro.scheduling.intra contract), so cache records are keyed on
+        # the result, not the worker topology -- a search at intra_workers=4
+        # warm-starts one at intra_workers=1 and vice versa
     )
 
 

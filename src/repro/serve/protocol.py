@@ -278,6 +278,9 @@ WIRE_OPTION_FIELDS = (
     "defer_sources",
     "backend",
     "kernel_tier",
+    # worker-topology knob, not result identity: responses and cache
+    # records are byte-identical at any value (repro.scheduling.intra)
+    "intra_workers",
 )
 
 
@@ -308,6 +311,14 @@ def options_from_dict(data: Optional[Mapping[str, object]]) -> SchedulerOptions:
         raise ProtocolError("bad-options", f"unknown kernel tier {options.kernel_tier!r}")
     if not isinstance(options.max_nodes, int) or options.max_nodes < 1:
         raise ProtocolError("bad-options", "max_nodes must be a positive integer")
+    if (
+        not isinstance(options.intra_workers, int)
+        or isinstance(options.intra_workers, bool)
+        or not 1 <= options.intra_workers <= 64
+    ):
+        raise ProtocolError(
+            "bad-options", "intra_workers must be an integer between 1 and 64"
+        )
     return options
 
 

@@ -80,7 +80,8 @@ def test_regenerating_fixture_is_a_byte_level_noop(net_name, source):
 
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 2,
-    reason="workers=2 golden smoke needs at least two cores to be meaningful",
+    reason="needs >=2 cores; covered by the 'worker-matrix' CI job, which runs "
+    "this and the intra_workers matrix un-skipped on a multi-core runner",
 )
 @pytest.mark.parametrize("net_name", sorted(GOLDEN_CASES))
 def test_workers_2_reproduces_golden_fixtures(net_name):

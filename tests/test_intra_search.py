@@ -1,0 +1,465 @@
+"""Worker-count determinism matrix for intra-search work stealing.
+
+The :mod:`repro.scheduling.intra` contract is that ``intra_workers`` is
+observationally a no-op: for every worker count the canonical schedule, its
+fingerprint, the tree shape and the merged :class:`SearchCounters` (modulo
+the ``BACKEND_ONLY`` expansion tallies, exactly as between backends) are
+byte-identical to the serial search -- under any steal interleaving, and
+with workers raising or dying mid-subtree.
+
+The golden nets and the corpus never backtrack (the invariant heuristic's
+first candidate always wins, so speculative subtree results are only ever
+discarded); :func:`make_backtracking_net` is the adversarial complement: a
+net whose heuristically-first ECS is a drain-first *trap* that dead-ends,
+forcing the serial order to actually consume the stolen second-candidate
+subtrees -- the splice, inline-fallback and fault paths all run for real.
+
+This matrix runs (and passes) on a single-core host -- identity does not
+need real parallelism.  The CI leg that exercises it with true concurrency
+is the ``worker-matrix`` job on a multi-core runner (see
+``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import warnings
+
+import pytest
+
+from golden_nets import GOLDEN_CASES
+from repro.corpus.generator import generate_corpus
+from repro.corpus.topologies import build_case
+from repro.flowc.linker import link
+from repro.petrinet.net import PetriNet, SourceKind
+from repro.scheduling import intra
+from repro.scheduling.ep import (
+    SchedulerOptions,
+    SearchCounters,
+    find_all_schedules,
+    find_schedule,
+)
+from repro.scheduling.serialize import schedule_fingerprint, schedule_to_json
+from repro.scheduling.warmstart import options_cache_key
+
+WORKER_MATRIX = (1, 2, 4, 8)
+
+#: the 50-seed corpus the sample is drawn from (generation is prefix-stable,
+#: so these specs are the same ones every other corpus consumer sees)
+CORPUS_SIZE = 50
+CORPUS_SEED = 20260808
+#: deterministic sample strides: every 5th spec runs at workers {1, 2},
+#: every 12th additionally at {4, 8} (full nets x full matrix is CI-leg /
+#: slow-mark territory, not tier-1)
+SAMPLE_STRIDE = 5
+DEEP_SAMPLE_STRIDE = 12
+
+
+def result_identity(result):
+    """Everything that must be byte-identical across worker counts."""
+    counters = {
+        key: value
+        for key, value in result.counters.as_dict().items()
+        if key not in SearchCounters.BACKEND_ONLY
+    }
+    return (
+        schedule_to_json(result.schedule) if result.schedule else None,
+        schedule_fingerprint(result.schedule) if result.schedule else None,
+        result.tree_nodes,
+        result.failure_reason,
+        counters,
+    )
+
+
+def make_backtracking_net(stages: int = 2, trap_depth: int = 4) -> PetriNet:
+    """A net whose heuristically-first ECS always dead-ends.
+
+    Per stage, the source tokens ``pA``/``pB`` enable two ECSs: ``t_trap``
+    consumes both and produces one (token delta -1, so the drain-first
+    tie-break orders it *first*), walks a ``trap_depth`` chain and hands the
+    tokens straight back -- its only entering point is the forking node
+    itself, which EP rejects, so the trap subtree fails after being fully
+    explored.  ``u_route``/``v_join`` is the real route and chains into the
+    next stage.  The trap cycle is covered by a T-invariant, so the
+    irrelevance criterion cannot prune it early.
+    """
+    net = PetriNet(name=f"backtrack_{stages}x{trap_depth}")
+    for i in range(stages):
+        for place in (f"pA{i}", f"pB{i}", f"pW{i}"):
+            net.add_place(place)
+        for d in range(trap_depth):
+            net.add_place(f"pT{i}_{d}")
+    for i in range(stages):
+        net.add_transition(f"t_trap{i}")
+        net.add_arc(f"pA{i}", f"t_trap{i}")
+        net.add_arc(f"pB{i}", f"t_trap{i}")
+        net.add_arc(f"t_trap{i}", f"pT{i}_0")
+        for d in range(trap_depth - 1):
+            net.add_transition(f"t_step{i}_{d}")
+            net.add_arc(f"pT{i}_{d}", f"t_step{i}_{d}")
+            net.add_arc(f"t_step{i}_{d}", f"pT{i}_{d+1}")
+        net.add_transition(f"t_back{i}")
+        net.add_arc(f"pT{i}_{trap_depth-1}", f"t_back{i}")
+        net.add_arc(f"t_back{i}", f"pA{i}")
+        net.add_arc(f"t_back{i}", f"pB{i}")
+        net.add_transition(f"u_route{i}")
+        net.add_arc(f"pA{i}", f"u_route{i}")
+        net.add_arc(f"u_route{i}", f"pW{i}")
+        net.add_transition(f"v_join{i}")
+        net.add_arc(f"pW{i}", f"v_join{i}")
+        net.add_arc(f"pB{i}", f"v_join{i}")
+        if i + 1 < stages:
+            net.add_arc(f"v_join{i}", f"pA{i+1}")
+            net.add_arc(f"v_join{i}", f"pB{i+1}")
+    net.add_transition("src", source_kind=SourceKind.UNCONTROLLABLE)
+    net.add_arc("src", "pA0")
+    net.add_arc("src", "pB0")
+    return net
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _shutdown_pools_after_module():
+    yield
+    intra.shutdown_pools()
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    yield
+    intra._publish_order_hook = None
+    intra._fault_hook = None
+
+
+# ---------------------------------------------------------------------------
+# golden-net matrix
+# ---------------------------------------------------------------------------
+
+
+def _golden_params():
+    return [
+        pytest.param(net_name, source, id=f"{net_name}-{source}")
+        for net_name, (_builder, sources) in sorted(GOLDEN_CASES.items())
+        for source in sources
+    ]
+
+
+class TestGoldenMatrix:
+    @pytest.mark.parametrize(("net_name", "source"), _golden_params())
+    def test_worker_counts_are_byte_identical(self, net_name, source):
+        builder, _sources = GOLDEN_CASES[net_name]
+        net = builder()
+        baseline = result_identity(
+            find_schedule(net, source, options=SchedulerOptions())
+        )
+        for workers in WORKER_MATRIX[1:]:
+            result = find_schedule(
+                net, source, options=SchedulerOptions(intra_workers=workers)
+            )
+            assert result_identity(result) == baseline, (
+                f"intra_workers={workers} diverged on {net_name}/{source}"
+            )
+            assert result.intra_stats is not None
+            assert result.intra_stats["workers"] == workers
+
+    def test_serial_path_records_no_intra_stats(self):
+        builder, sources = GOLDEN_CASES["figure_5"]
+        result = find_schedule(builder(), sources[0], options=SchedulerOptions())
+        assert result.intra_stats is None
+
+
+# ---------------------------------------------------------------------------
+# corpus sample
+# ---------------------------------------------------------------------------
+
+
+def _corpus_sample(stride):
+    specs = generate_corpus(CORPUS_SIZE, seed=CORPUS_SEED)
+    return [
+        pytest.param(index, id=f"seed{CORPUS_SEED}-{index}-{specs[index].family}")
+        for index in range(0, CORPUS_SIZE, stride)
+    ]
+
+
+def _corpus_net(index):
+    spec = generate_corpus(CORPUS_SIZE, seed=CORPUS_SEED)[index]
+    case = build_case(spec)
+    return link(case.network).net, case.manifest["source_transitions"]
+
+
+class TestCorpusSample:
+    @pytest.mark.parametrize("index", _corpus_sample(SAMPLE_STRIDE))
+    def test_two_workers_identical(self, index):
+        net, sources = _corpus_net(index)
+        for source in sources:
+            baseline = result_identity(
+                find_schedule(net, source, options=SchedulerOptions())
+            )
+            result = find_schedule(
+                net, source, options=SchedulerOptions(intra_workers=2)
+            )
+            assert result_identity(result) == baseline
+
+    @pytest.mark.parametrize("index", _corpus_sample(DEEP_SAMPLE_STRIDE))
+    @pytest.mark.parametrize("workers", (4, 8))
+    def test_deep_matrix_identical(self, index, workers):
+        net, sources = _corpus_net(index)
+        for source in sources:
+            baseline = result_identity(
+                find_schedule(net, source, options=SchedulerOptions())
+            )
+            result = find_schedule(
+                net, source, options=SchedulerOptions(intra_workers=workers)
+            )
+            assert result_identity(result) == baseline
+
+
+# ---------------------------------------------------------------------------
+# backtracking: stolen subtrees are actually consumed
+# ---------------------------------------------------------------------------
+
+
+class TestBacktrackingConsumption:
+    def test_matrix_on_backtracking_net(self):
+        net = make_backtracking_net(stages=2, trap_depth=4)
+        baseline = find_schedule(net, "src", options=SchedulerOptions())
+        assert baseline.success
+        for workers in WORKER_MATRIX[1:]:
+            result = find_schedule(
+                net, "src", options=SchedulerOptions(intra_workers=workers)
+            )
+            assert result_identity(result) == result_identity(baseline)
+            stats = result.intra_stats
+            assert stats["published"] > 0
+            # the trap forces the serial order past its first candidate, so
+            # at least one speculative subtree is resolved (stolen by a
+            # worker, run detached by the parent, or recomputed inline --
+            # which bucket depends on timing; that any is used does not)
+            consumed = (
+                stats["stolen_by_workers"]
+                + stats["parent_detached"]
+                + stats["inline"]
+                + stats["invalid_splice"]
+            )
+            assert consumed > 0
+
+    def test_steal_order_shuffle_is_identity(self):
+        net = make_backtracking_net(stages=3, trap_depth=3)
+        baseline = result_identity(
+            find_schedule(net, "src", options=SchedulerOptions())
+        )
+        rng = random.Random(0xC0DAC)
+        intra._publish_order_hook = lambda envelopes: rng.sample(
+            envelopes, len(envelopes)
+        )
+        for trial in range(6):
+            result = find_schedule(
+                net, "src", options=SchedulerOptions(intra_workers=4)
+            )
+            assert result_identity(result) == baseline, f"shuffle trial {trial}"
+
+    def test_node_budget_coupling_recomputes_inline(self):
+        # a budget barely above the serial tree size: splices near the limit
+        # are rejected (worker-local indices would see a laxer budget) and
+        # recomputed at the serial point -- results stay identical
+        net = make_backtracking_net(stages=2, trap_depth=4)
+        serial = find_schedule(net, "src", options=SchedulerOptions())
+        budget = serial.tree_nodes + 2
+        tight_base = find_schedule(
+            net, "src", options=SchedulerOptions(max_nodes=budget)
+        )
+        for workers in (2, 4):
+            result = find_schedule(
+                net, "src", options=SchedulerOptions(max_nodes=budget, intra_workers=workers)
+            )
+            assert result_identity(result) == result_identity(tight_base)
+
+
+# ---------------------------------------------------------------------------
+# fault injection: degraded workers, identical results
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("fault", ("raise", "die"))
+    def test_worker_fault_degrades_with_one_warning(self, fault):
+        net = make_backtracking_net(stages=2, trap_depth=4)
+        baseline = result_identity(
+            find_schedule(net, "src", options=SchedulerOptions())
+        )
+        intra._fault_hook = lambda task_id: fault
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = find_schedule(
+                net, "src", options=SchedulerOptions(intra_workers=2)
+            )
+        intra._fault_hook = None
+        assert result_identity(result) == baseline
+        degraded = [
+            w
+            for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "intra-search worker degraded" in str(w.message)
+        ]
+        assert len(degraded) == 1
+        assert result.intra_stats["worker_failures"] >= 1
+        assert result.intra_stats["inline"] >= 1
+
+    def test_search_after_worker_death_recovers(self):
+        net = make_backtracking_net(stages=2, trap_depth=4)
+        baseline = result_identity(
+            find_schedule(net, "src", options=SchedulerOptions())
+        )
+        intra._fault_hook = lambda task_id: "die"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            find_schedule(net, "src", options=SchedulerOptions(intra_workers=2))
+        intra._fault_hook = None
+        # the pool lost its helper; the next search must rebuild it and
+        # come back clean (no warning, full identity)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = find_schedule(
+                net, "src", options=SchedulerOptions(intra_workers=2)
+            )
+        assert result_identity(result) == baseline
+
+
+# ---------------------------------------------------------------------------
+# counters: merge/aggregate permutation invariance, BACKEND_ONLY exclusion
+# ---------------------------------------------------------------------------
+
+
+class TestCounterMerge:
+    def _subtree_counters(self):
+        rng = random.Random(7)
+        parts = []
+        for _ in range(5):
+            counters = SearchCounters()
+            for field in counters.as_dict():
+                setattr(counters, field, rng.randrange(100))
+            parts.append(counters)
+        return parts
+
+    def test_any_merge_permutation_same_aggregate(self):
+        parts = self._subtree_counters()
+        expected = SearchCounters.aggregate(parts).as_dict()
+        for perm in itertools.permutations(parts):
+            assert SearchCounters.aggregate(perm).as_dict() == expected
+            # pairwise left-fold merge (what the splice loop actually does)
+            total = SearchCounters()
+            for item in perm:
+                total.merge(item)
+            assert total.as_dict() == expected
+
+    def test_backend_only_counters_stay_excluded(self):
+        assert set(SearchCounters.BACKEND_ONLY) == {
+            "batched_expansions",
+            "kernel_expansions",
+        }
+        builder, sources = GOLDEN_CASES["pfc_4x5"]
+        net = builder()
+        scalar = find_schedule(
+            net, sources[0], options=SchedulerOptions(backend="scalar")
+        )
+        kernel = find_schedule(
+            net, sources[0], options=SchedulerOptions(backend="kernel", intra_workers=2)
+        )
+
+        def visible(counters):
+            return {
+                key: value
+                for key, value in counters.as_dict().items()
+                if key not in SearchCounters.BACKEND_ONLY
+            }
+
+        # cross-backend AND cross-worker-count: everything but the
+        # BACKEND_ONLY tallies matches the scalar serial search exactly
+        assert visible(kernel.counters) == visible(scalar.counters)
+        assert schedule_to_json(kernel.schedule) == schedule_to_json(scalar.schedule)
+
+
+# ---------------------------------------------------------------------------
+# wiring: caches, serve whitelist, per-source composition
+# ---------------------------------------------------------------------------
+
+
+class TestWiring:
+    def test_cache_key_ignores_intra_workers(self):
+        keys = {
+            options_cache_key(SchedulerOptions(intra_workers=workers))
+            for workers in WORKER_MATRIX
+        }
+        assert len(keys) == 1
+
+    def test_result_record_never_carries_intra_stats(self):
+        from repro.scheduling.serialize import result_to_record
+
+        net = make_backtracking_net(stages=2, trap_depth=3)
+        result = find_schedule(net, "src", options=SchedulerOptions(intra_workers=2))
+        assert result.intra_stats is not None
+        record = result_to_record(result)
+        assert "intra_stats" not in record
+        assert "intra" not in str(sorted(record)).lower()
+
+    def test_serve_whitelist_accepts_and_validates_intra_workers(self):
+        from repro.serve.protocol import ProtocolError, options_from_dict
+
+        options = options_from_dict({"intra_workers": 4})
+        assert options.intra_workers == 4
+        for bad in (0, -1, 65, "2", True, 2.0):
+            with pytest.raises(ProtocolError):
+                options_from_dict({"intra_workers": bad})
+
+    def test_find_all_schedules_composes_sequentially(self):
+        # intra_workers > 1 takes precedence over the per-source fan-out:
+        # sources run sequentially through one shared helper pool, and the
+        # results still match the plain serial multi-source loop exactly
+        builder, _sources = GOLDEN_CASES["figure_5"]
+        net = builder()
+        serial = find_all_schedules(net)
+        combined = find_all_schedules(
+            net, workers=2, options=SchedulerOptions(intra_workers=2)
+        )
+        assert sorted(serial) == sorted(combined)
+        for source, result in serial.items():
+            assert schedule_to_json(result.schedule) == schedule_to_json(
+                combined[source].schedule
+            )
+            assert combined[source].intra_stats is not None
+
+    def test_pool_is_reused_across_searches(self):
+        net = make_backtracking_net(stages=2, trap_depth=3)
+        find_schedule(net, "src", options=SchedulerOptions(intra_workers=2))
+        pool = intra._POOLS.get(1)
+        assert pool is not None
+        pids = [process.pid for process in pool.helpers]
+        find_schedule(net, "src", options=SchedulerOptions(intra_workers=2))
+        again = intra._POOLS.get(1)
+        assert again is pool
+        assert [process.pid for process in again.helpers] == pids
+
+
+# ---------------------------------------------------------------------------
+# slow full sweep (CI worker-matrix leg; deselected from tier-1)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_full_corpus_full_matrix():
+    specs = generate_corpus(CORPUS_SIZE, seed=CORPUS_SEED)
+    for spec in specs:
+        case = build_case(spec)
+        net = link(case.network).net
+        for source in case.manifest["source_transitions"]:
+            baseline = result_identity(
+                find_schedule(net, source, options=SchedulerOptions())
+            )
+            for workers in WORKER_MATRIX[1:]:
+                result = find_schedule(
+                    net, source, options=SchedulerOptions(intra_workers=workers)
+                )
+                assert result_identity(result) == baseline, (
+                    f"{spec.label()}/{source} diverged at intra_workers={workers}"
+                )
+    intra.shutdown_pools()

@@ -397,6 +397,122 @@ def _run_intra_phase(
     return info
 
 
+#: Candidate budget of the bench's enumerate->score->select phase.
+OBJECTIVE_CANDIDATE_LIMIT = 32
+
+#: Corpus case seed whose cost-selected schedule strictly beats the
+#: first-found one (multi_source family, sink source ``src.s2_p0.ev_s2_p0``:
+#: predicted 1151 vs 1175 cycles) -- the concrete witness that the "cost"
+#: objective can pay off, kept in the report as a regression anchor.
+OBJECTIVE_CORPUS_SEED = 20260877
+
+
+def _objective_source_row(
+    net, source: str, *, backends: Sequence[str], candidate_limit: int
+) -> Dict[str, object]:
+    """Cost-objective selection for one source, cross-checked per backend.
+
+    Every backend must enumerate the same candidate set and elect the same
+    winner (score *and* fingerprint); ``identical_selection`` records the
+    check and ``improvement`` is first-found minus selected predicted cycles
+    (positive = the cost objective found a strictly cheaper schedule).
+    """
+    stats_by_backend: Dict[str, Dict[str, object]] = {}
+    seconds: Dict[str, float] = {}
+    for backend in backends:
+        start = time.monotonic()
+        result = find_schedule(
+            net,
+            source,
+            options=SchedulerOptions(
+                objective="cost",
+                candidate_limit=candidate_limit,
+                backend=backend,
+                max_nodes=200_000,
+            ),
+        )
+        seconds[backend] = round(time.monotonic() - start, 4)
+        stats_by_backend[backend] = dict(result.objective_stats or {})
+    reference = stats_by_backend[backends[0]]
+    identical = all(
+        stats.get("selected_fingerprint") == reference.get("selected_fingerprint")
+        and stats.get("selected_score") == reference.get("selected_score")
+        and stats.get("candidates") == reference.get("candidates")
+        for stats in stats_by_backend.values()
+    )
+    first = reference.get("first_score")
+    selected = reference.get("selected_score")
+    return {
+        "source": source,
+        "candidates": reference.get("candidates"),
+        "first_score": first,
+        "selected_score": selected,
+        "score_min": reference.get("score_min"),
+        "score_max": reference.get("score_max"),
+        "selected_is_first": reference.get("selected_is_first"),
+        "improvement": (
+            first - selected
+            if isinstance(first, int) and isinstance(selected, int)
+            else None
+        ),
+        "seconds": seconds,
+        "identical_selection": identical,
+    }
+
+
+def _run_objective_phase(
+    cases,
+    *,
+    backends: Sequence[str],
+    candidate_limit: int = OBJECTIVE_CANDIDATE_LIMIT,
+) -> Dict[str, object]:
+    """The ``objective`` section: enumerate->score->select on PFC + corpus.
+
+    Runs the ``"cost"`` objective over the pfc bench nets plus the pinned
+    :data:`OBJECTIVE_CORPUS_SEED` corpus case, recording per source how many
+    candidates were enumerated, the score spread, and the selected-vs-first
+    predicted cycles.  ``improvement_found`` asserts the headline claim --
+    at least one net where cost selection strictly beats first-found.
+    """
+    from repro.corpus.generator import generate_spec
+    from repro.corpus.topologies import build_case
+    from repro.flowc.linker import link
+
+    corpus_spec = generate_spec(OBJECTIVE_CORPUS_SEED, "multi_source")
+    corpus_net = link(build_case(corpus_spec).network).net
+    timed = [
+        (name, net) for name, net in cases if name.startswith("pfc")
+    ] + [(corpus_spec.label(), corpus_net)]
+    rows = []
+    for name, net in timed:
+        source_rows = [
+            _objective_source_row(
+                net, source, backends=backends, candidate_limit=candidate_limit
+            )
+            for source in net.uncontrollable_sources()
+        ]
+        rows.append(
+            {
+                "case": name,
+                "sources": source_rows,
+                "identical_selection": all(
+                    row["identical_selection"] for row in source_rows
+                ),
+            }
+        )
+    return {
+        "candidate_limit": candidate_limit,
+        "backends": list(backends),
+        "cases": rows,
+        "identical_selection": all(row["identical_selection"] for row in rows),
+        "improvement_found": any(
+            (source_row.get("improvement") or 0) > 0
+            for row in rows
+            for source_row in row["sources"]
+        ),
+    }
+
+
 def _cache_case(name: str, net) -> Dict[str, object]:
     """Time one case's cache-active scheduling path (cold or warm process).
 
@@ -529,6 +645,7 @@ def run_cli_bench(
             if len(intra_counts) > 1
             else None
         )
+        objective_info = _run_objective_phase(cases, backends=backends)
     shm_info = _run_shm_phase(cases, workers=workers)
     cpu_count = os.cpu_count() or 1
     report: Dict[str, object] = {
@@ -548,6 +665,7 @@ def run_cli_bench(
     }
     if intra_info is not None:
         report["intra"] = intra_info
+    report["objective"] = objective_info
     if profile_rows is not None:
         report["profile"] = {"top_n": PROFILE_TOP_N, "cases": profile_rows}
     if workers > cpu_count:
@@ -624,6 +742,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "record the top hot functions in a 'profile' section of the JSON",
     )
     parser.add_argument(
+        "--objective-only",
+        action="store_true",
+        help="read-modify-write mode: run only the enumerate->score->select "
+        "phase and merge its 'objective' section into the existing JSON "
+        "report, leaving every other section untouched",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_scheduler.json",
         help="where to write the JSON report (default: ./BENCH_scheduler.json)",
@@ -639,6 +764,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import repro.cache as artifact_cache
 
         artifact_cache.deactivate()
+    if args.objective_only:
+        cases = [
+            ("pfc_4x5", build_video_system(VideoAppConfig(4, 5)).net),
+        ]
+        objective_info = _run_objective_phase(cases, backends=backends)
+        try:
+            with open(args.output) as handle:
+                report = json.load(handle)
+        except FileNotFoundError:
+            report = {}
+        report["objective"] = objective_info
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        _print_objective(objective_info)
+        print(f"wrote {args.output} (objective section only)")
+        return 0 if objective_info["identical_selection"] else 1
     report = run_cli_bench(
         workers=args.workers,
         quick=args.quick,
@@ -710,6 +852,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"hottest={hottest['function']} "
                     f"cum={hottest['cumulative_seconds']:.3f}s"
                 )
+    _print_objective(report["objective"])
     if "intra" in report:
         intra_info = report["intra"]
         if "note" in intra_info:
@@ -738,7 +881,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if not report["objective"]["identical_selection"]:
+        print(
+            "ERROR: cost-objective selection diverges across backends",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _print_objective(objective_info: Dict[str, object]) -> None:
+    for row in objective_info["cases"]:
+        for source_row in row["sources"]:
+            print(
+                f"objective {row['case']:<22} {source_row['source']:<22} "
+                f"cands={source_row['candidates']} "
+                f"spread=[{source_row['score_min']}, {source_row['score_max']}] "
+                f"first={source_row['first_score']} "
+                f"selected={source_row['selected_score']} "
+                f"improvement={source_row['improvement']} "
+                f"identical={source_row['identical_selection']}"
+            )
+    print(
+        f"objective: candidate_limit={objective_info['candidate_limit']} "
+        f"identical_selection={objective_info['identical_selection']} "
+        f"improvement_found={objective_info['improvement_found']}"
+    )
 
 
 if __name__ == "__main__":

@@ -59,6 +59,7 @@ def _finish_processes(
     reps: Optional[Dict[str, int]] = None,
     forced_branch: Sequence[str] = (),
     branch_probability: float = 0.35,
+    wcet_probability: float = 0.3,
 ) -> Tuple[ProcessSpec, ...]:
     """Draw repetitions / branch flags / constants for a process list."""
     specs: List[ProcessSpec] = []
@@ -67,6 +68,9 @@ def _finish_processes(
         if name != trigger:
             repetitions = (reps or {}).get(name, rng.choice((1, 1, 1, 2)))
         branch = name in forced_branch or rng.random() < branch_probability
+        # optional WCET(n) annotation: exercises the cost objective's
+        # latency/jitter terms without changing schedulability or traces
+        wcet = rng.randint(1, 12) if rng.random() < wcet_probability else None
         specs.append(
             ProcessSpec(
                 name=name,
@@ -74,6 +78,7 @@ def _finish_processes(
                 branch=branch,
                 const_a=rng.randint(2, 6),
                 const_b=rng.randint(1, 9),
+                wcet=wcet,
             )
         )
     return tuple(specs)

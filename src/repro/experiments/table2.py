@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.apps.video import VideoAppConfig
 from repro.codegen.synthesis import baseline_code_size, synthesized_code_size
 from repro.experiments.common import FAST_CONFIG, PfcExperimentSetup, build_pfc_setup
+from repro.runtime.cost_model import PROFILES, CodeSizeModel
 
 DEFAULT_PROFILES = ("pfc", "pfc-O", "pfc-O2")
 
@@ -27,6 +28,10 @@ class Table2Row:
     per_process_bytes: Dict[str, int]
     inline_communication: bool = True
     share_code_segments: bool = True
+    # bytes of the single task's control glue (labels / gotos / jump
+    # switches), estimated via CodeSizeModel.estimate -- the part of the
+    # single-task size that is scheduling structure rather than process code
+    control_glue_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -42,6 +47,7 @@ class Table2Row:
         data: Dict[str, object] = {"profile": self.profile, "1 task": self.single_task_bytes}
         data.update(self.per_process_bytes)
         data["ratio"] = round(self.ratio, 1)
+        data["control_glue"] = self.control_glue_bytes
         return data
 
 
@@ -66,6 +72,14 @@ def run_table2(
             profile=profile,
             share_code_segments=share_code_segments,
         )
+        glue = CodeSizeModel().estimate(
+            {
+                "per_label": setup.synthesized.count_construct("labels"),
+                "per_goto": setup.synthesized.count_construct("gotos"),
+                "per_switch_case": setup.synthesized.count_construct("switches"),
+            },
+            profile=PROFILES[profile],
+        )
         rows.append(
             Table2Row(
                 profile=profile,
@@ -73,6 +87,7 @@ def run_table2(
                 per_process_bytes=per_process,
                 inline_communication=inline_communication,
                 share_code_segments=share_code_segments,
+                control_glue_bytes=glue,
             )
         )
     return rows

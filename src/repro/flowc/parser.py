@@ -141,10 +141,24 @@ class _Parser:
             while self.match("op", ","):
                 ports.append(self.parse_port_decl())
         self.expect("op", ")")
+        wcet: Optional[int] = None
+        if self.check("ident", "WCET") or self.check("keyword", "WCET"):
+            # optional timing annotation between the port list and the body:
+            # PROCESS name (ports) WCET(n) { ... }
+            self.advance()
+            self.expect("op", "(")
+            wcet_token = self.expect("int")
+            try:
+                wcet = int(wcet_token.value)
+            except ValueError:
+                raise FlowCParseError("WCET must be an integer", wcet_token)
+            if wcet < 0:
+                raise FlowCParseError("WCET must be non-negative", wcet_token)
+            self.expect("op", ")")
         self.expect("op", "{")
         body = self.parse_statement_list_until("}")
         self.expect("op", "}")
-        return Process(name=name, ports=tuple(ports), body=tuple(body))
+        return Process(name=name, ports=tuple(ports), body=tuple(body), wcet=wcet)
 
     def parse_port_decl(self) -> PortDecl:
         direction_token = self.current

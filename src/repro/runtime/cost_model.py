@@ -28,6 +28,7 @@ EXPERIMENTS.md records the calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, Iterable, Mapping, Optional
 
 from repro.flowc.interpreter import OperationCounter
@@ -190,3 +191,31 @@ class CodeSizeModel:
 
     def scaled(self, size: float, profile: CompilerProfile) -> int:
         return int(round(size * profile.code_scale))
+
+    def estimate(
+        self,
+        counts: Mapping[str, int],
+        *,
+        profile: Optional[CompilerProfile] = None,
+    ) -> int:
+        """Total bytes of the constructs in ``counts``.
+
+        The code-size counterpart of :meth:`CostModel.execution_cycles`:
+        ``counts`` maps :class:`CodeSizeCosts` field names (``per_statement``,
+        ``per_goto``, ``task_prologue``, ...) to how many of that construct
+        the generated code contains.  Unknown keys raise :class:`KeyError`
+        rather than silently dropping a construct.  With ``profile`` the
+        total is scaled like :meth:`scaled`; without it the raw ``pfc``-level
+        byte count is returned.
+        """
+        valid = {f.name for f in dataclass_fields(self.costs)}
+        total = 0.0
+        for name, count in counts.items():
+            if name not in valid:
+                raise KeyError(
+                    f"unknown code-size construct {name!r}; known: {sorted(valid)}"
+                )
+            total += getattr(self.costs, name) * count
+        if profile is None:
+            return int(round(total))
+        return self.scaled(total, profile)

@@ -490,6 +490,14 @@ class IntraSearch(_EPSearch):
         source_ecss: List[ECS],
         frontier: Optional[_Frontier],
     ) -> Optional[int]:
+        if self._enum_serial:
+            # cost-objective enumeration (resuming the search past the first
+            # success) is strictly serial by contract: no publishing, no
+            # stealing, so the candidate set matches the intra_workers=1
+            # search exactly.  Workers never enumerate either -- they enter
+            # through _ep_ecs, not run(), even though the shipped options
+            # carry objective / candidate_limit.
+            return super()._run_ecs_loop(v, target, non_source, source_ecss, frontier)
         frame: Dict[ECS, int] = {}
         if self._pool is not None:
             frame = self._maybe_publish(v, target, list(non_source) + list(source_ecss))

@@ -333,6 +333,12 @@ def find_all_schedules_parallel(
         # (find_all_schedules routes to the intra layer instead of here when
         # intra_workers > 1) -- a per-source worker must never fork its own
         # helper pool underneath this fan-out.
+        # objective / candidate_limit travel untouched in the shipped
+        # options: each per-source search IS the serial point of its own
+        # enumerate -> score -> select pass, so the worker scores candidates
+        # exactly as the serial loop would and the record ships the same
+        # (objective, score) pair -- selection is deterministic in (net,
+        # source, options), never in the worker topology.
         resolved_backend = resolve_backend_for(net, options)
         resolved_tier = options.kernel_tier
         if resolved_backend == "kernel":

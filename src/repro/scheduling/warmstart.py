@@ -104,9 +104,16 @@ def options_cache_key(options: SchedulerOptions) -> Optional[Tuple]:
         # differ (batched_expansions / kernel_expansions); keep replayed
         # records honest
         options.backend,
+        # the objective changes which schedule is selected, so "first"
+        # records must never replay for "cost" requests (and vice versa);
+        # candidate_limit is dead under "first" -- normalise it to 0 there
+        # so it cannot fragment the first-objective key space
+        options.objective,
+        options.candidate_limit if options.objective == "cost" else 0,
         # the resolved kernel tier never changes results, but keying on it
         # keeps each tier's recorded counters/timings attributable (and a
-        # pinned-options fan-out hits the same entries as its workers)
+        # pinned-options fan-out hits the same entries as its workers).
+        # Kept last: tests address the tier entry as key[-1]
         _effective_kernel_tier(options),
         # intra_workers is deliberately NOT part of the key: intra-search
         # work stealing is byte-identical at any worker count (the

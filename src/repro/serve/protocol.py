@@ -42,7 +42,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.flowc.netlist import Network
 from repro.petrinet.net import PetriNet, SourceKind
-from repro.scheduling.ep import SchedulerOptions
+from repro.scheduling.ep import OBJECTIVES, SchedulerOptions
 
 #: Version stamped into every response envelope; bump on breaking changes.
 PROTOCOL_VERSION = 1
@@ -281,6 +281,10 @@ WIRE_OPTION_FIELDS = (
     # worker-topology knob, not result identity: responses and cache
     # records are byte-identical at any value (repro.scheduling.intra)
     "intra_workers",
+    # enumerate->score->select: "first" replays the classic search, "cost"
+    # enumerates up to candidate_limit schedules and keeps the cheapest
+    "objective",
+    "candidate_limit",
 )
 
 
@@ -318,6 +322,19 @@ def options_from_dict(data: Optional[Mapping[str, object]]) -> SchedulerOptions:
     ):
         raise ProtocolError(
             "bad-options", "intra_workers must be an integer between 1 and 64"
+        )
+    if options.objective not in OBJECTIVES:
+        raise ProtocolError(
+            "bad-options",
+            f"unknown objective {options.objective!r}; settable: {list(OBJECTIVES)}",
+        )
+    if (
+        not isinstance(options.candidate_limit, int)
+        or isinstance(options.candidate_limit, bool)
+        or not 1 <= options.candidate_limit <= 64
+    ):
+        raise ProtocolError(
+            "bad-options", "candidate_limit must be an integer between 1 and 64"
         )
     return options
 

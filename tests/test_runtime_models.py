@@ -1,0 +1,204 @@
+"""Direct unit tests of :mod:`repro.runtime.cost_model` and
+:mod:`repro.runtime.rtos`.
+
+Both models were previously exercised only through the end-to-end experiment
+tables; these pin their arithmetic at the unit level -- compiler-profile
+scaling, the framework-cost invariance the paper's measurement methodology
+assumes (the RTOS is pre-compiled, so optimisation levels do not touch it),
+the CodeSizeModel.estimate construct table, and the round-robin scheduler's
+decision / context-switch / activation accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowc.interpreter import OperationCounter
+from repro.runtime.channels import CommunicationStats
+from repro.runtime.cost_model import (
+    PROFILES,
+    CodeSizeModel,
+    CommunicationCosts,
+    CostModel,
+    CycleCosts,
+    SchedulingCosts,
+)
+from repro.runtime.rtos import RoundRobinScheduler, RtosCosts
+
+
+def _ops(**kwargs) -> OperationCounter:
+    counter = OperationCounter()
+    for name, value in kwargs.items():
+        setattr(counter, name, value)
+    return counter
+
+
+def _comm(**kwargs) -> CommunicationStats:
+    stats = CommunicationStats()
+    for name, value in kwargs.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestCostModelScaling:
+    def test_computation_scales_with_profile(self):
+        model = CostModel()
+        ops = _ops(arithmetic=10, comparisons=5, assignments=7, memory=3, branches=2)
+        comm = CommunicationStats()
+        base = model.execution_cycles(ops, comm, profile=PROFILES["pfc"])
+        optimised = model.execution_cycles(ops, comm, profile=PROFILES["pfc-O"])
+        assert optimised == pytest.approx(base * PROFILES["pfc-O"].computation_scale)
+        assert PROFILES["pfc"].computation_scale == 1.0
+
+    def test_framework_costs_do_not_scale(self):
+        """Context switches / decisions / dispatches are pre-compiled RTOS
+        code: identical cycles under every compiler profile."""
+        model = CostModel()
+        empty_ops, empty_comm = OperationCounter(), CommunicationStats()
+        framework = dict(
+            context_switches=4, scheduler_decisions=9, isr_dispatches=2, state_updates=11
+        )
+        totals = {
+            name: model.execution_cycles(
+                empty_ops, empty_comm, profile=profile, **framework
+            )
+            for name, profile in PROFILES.items()
+        }
+        assert len(set(totals.values())) == 1
+        costs = SchedulingCosts()
+        assert totals["pfc"] == (
+            4 * costs.context_switch
+            + 9 * costs.scheduler_decision
+            + 2 * costs.isr_dispatch
+            + 11 * costs.task_state_update
+        )
+
+    def test_communication_does_not_scale(self):
+        model = CostModel()
+        comm = _comm(
+            intertask_reads=2, intertask_writes=1, intertask_items=6,
+            intratask_reads=3, intratask_writes=3, intratask_items=9,
+            environment_reads=1, environment_writes=1, environment_items=2,
+            selects=1,
+        )
+        totals = {
+            model.execution_cycles(OperationCounter(), comm, profile=profile)
+            for profile in PROFILES.values()
+        }
+        assert len(totals) == 1
+        assert totals == {CommunicationCosts().cycles(comm)}
+
+    def test_cycle_cost_table_is_linear(self):
+        costs = CycleCosts()
+        assert costs.computation_cycles(_ops(arithmetic=1)) == costs.arithmetic
+        assert costs.computation_cycles(_ops(calls=2, selects=1)) == (
+            2 * costs.call + costs.select
+        )
+        doubled = _ops(arithmetic=4, branches=6)
+        assert costs.computation_cycles(doubled) == 2 * costs.computation_cycles(
+            _ops(arithmetic=2, branches=3)
+        )
+
+
+class TestCodeSizeEstimate:
+    def test_estimate_matches_cost_table(self):
+        model = CodeSizeModel()
+        total = model.estimate({"per_label": 3, "per_goto": 2, "task_prologue": 1})
+        assert total == (
+            3 * model.costs.per_label + 2 * model.costs.per_goto + model.costs.task_prologue
+        )
+
+    def test_estimate_scales_like_scaled(self):
+        model = CodeSizeModel()
+        counts = {"per_statement": 10, "per_branch": 4}
+        raw = model.estimate(counts)
+        for profile in PROFILES.values():
+            assert model.estimate(counts, profile=profile) == model.scaled(raw, profile)
+
+    def test_estimate_rejects_unknown_constructs(self):
+        with pytest.raises(KeyError):
+            CodeSizeModel().estimate({"per_typo": 1})
+
+    def test_empty_estimate_is_zero(self):
+        assert CodeSizeModel().estimate({}) == 0
+
+
+class _FakeTask:
+    """Runs for a scripted number of activations, then blocks forever."""
+
+    def __init__(self, name: str, activations: int, steps_per_run: int = 1):
+        self.name = name
+        self.remaining = activations
+        self.steps_per_run = steps_per_run
+
+    def can_run(self) -> bool:
+        return self.remaining > 0
+
+    def run(self, quantum: int) -> int:
+        assert quantum > 0
+        if self.remaining <= 0:
+            return 0
+        self.remaining -= 1
+        return self.steps_per_run
+
+
+class TestRoundRobinScheduler:
+    def test_needs_at_least_one_task(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler([])
+
+    def test_decision_counting_single_task(self):
+        """One task, three activations: every poll is a decision, only the
+        initial dispatch is a context switch."""
+        scheduler = RoundRobinScheduler([_FakeTask("a", 3)])
+        costs = scheduler.run_until_quiescent()
+        # rounds 1-3 run the task, round 4 finds it blocked and terminates
+        assert costs.scheduler_decisions == 4
+        assert costs.idle_polls == 1
+        assert costs.context_switches == 1  # initial dispatch only
+        assert costs.activations == {"a": 3}
+
+    def test_alternation_counts_context_switches(self):
+        """Two tasks alternating each round: every handoff is a switch."""
+        scheduler = RoundRobinScheduler([_FakeTask("a", 2), _FakeTask("b", 2)])
+        costs = scheduler.run_until_quiescent()
+        # a b a b -> initial dispatch + 3 handoffs
+        assert costs.context_switches == 4
+        assert costs.activations == {"a": 2, "b": 2}
+        # 2 full rounds x 2 polls + final all-blocked round
+        assert costs.scheduler_decisions == 6
+        assert costs.idle_polls == 2
+
+    def test_consecutive_runs_of_same_task_do_not_switch(self):
+        """A task that keeps running while its peer is blocked stays
+        dispatched: no context switch beyond the initial one."""
+        scheduler = RoundRobinScheduler([_FakeTask("a", 3), _FakeTask("b", 0)])
+        costs = scheduler.run_until_quiescent()
+        assert costs.context_switches == 1
+        assert costs.activations == {"a": 3}
+        # b is polled (and found blocked) every round; the final round polls
+        # both tasks idle before terminating
+        assert costs.idle_polls == 3 + 2
+
+    def test_max_rounds_bounds_the_loop(self):
+        scheduler = RoundRobinScheduler([_FakeTask("a", 1_000_000)])
+        costs = scheduler.run_until_quiescent(max_rounds=5)
+        assert costs.activations == {"a": 5}
+        assert costs.scheduler_decisions == 5
+
+    def test_costs_object_is_reused_across_calls(self):
+        task = _FakeTask("a", 2)
+        scheduler = RoundRobinScheduler([task])
+        first = scheduler.run_until_quiescent()
+        assert first is scheduler.costs
+        task.remaining = 1
+        second = scheduler.run_until_quiescent()
+        assert second is first  # accounting accumulates on one RtosCosts
+        assert second.activations == {"a": 3}
+
+    def test_record_activation_counts(self):
+        costs = RtosCosts()
+        costs.record_activation("x")
+        costs.record_activation("x")
+        costs.record_activation("y")
+        assert costs.activations == {"x": 2, "y": 1}
